@@ -1,0 +1,67 @@
+"""Ablation — three storage strategies for exact distance queries.
+
+Section 2.3's memory claim, measured: the dense matrix, the per-BCC table
+oracle (the paper's stated ``a² + Σ nᵢ²``), and the reduced-table oracle
+(``a² + Σ (nᵢʳ)²`` + anchors).  Reports build time, bytes held, and query
+throughput; all three must return identical distances.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import datasets
+from repro.apsp import DistanceOracle, ReducedDistanceOracle, ear_apsp_full
+from repro.bench import format_table
+
+
+@pytest.mark.parametrize("name", ["as-22july06", "cond_mat_2003"])
+def test_oracle_storage_tradeoff(benchmark, scale, name):
+    g = datasets.load(name, scale)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    t0 = time.perf_counter()
+    dense = ear_apsp_full(g)
+    t_dense = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    full = DistanceOracle(g)
+    t_full = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    reduced = ReducedDistanceOracle(g)
+    t_reduced = time.perf_counter() - t0
+
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(0, g.n, size=(2000, 2))
+    t0 = time.perf_counter()
+    q_full = full.query_many(pairs)
+    qps_full = len(pairs) / (time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    q_red = reduced.query_many(pairs)
+    qps_red = len(pairs) / (time.perf_counter() - t0)
+    q_dense = dense[pairs[:, 0], pairs[:, 1]]
+
+    for q in (q_full, q_red):
+        assert np.allclose(
+            np.nan_to_num(q, posinf=-1), np.nan_to_num(q_dense, posinf=-1), atol=1e-8
+        )
+
+    dense_bytes = g.n * g.n * 4
+    print()
+    print(
+        format_table(
+            ["store", "build (s)", "MB held", "queries/s"],
+            [
+                ("dense matrix", t_dense, dense_bytes / 2**20, float("inf")),
+                ("per-BCC oracle", t_full, full.memory_bytes() / 2**20, qps_full),
+                ("reduced oracle", t_reduced, reduced.memory_bytes() / 2**20, qps_red),
+            ],
+            title=f"{name}: storage strategies (all exact)",
+        )
+    )
+    assert reduced.memory_bytes() <= full.memory_bytes() <= dense_bytes * 1.01
+    benchmark.extra_info[name] = {
+        "dense_mb": round(dense_bytes / 2**20, 3),
+        "bcc_mb": round(full.memory_bytes() / 2**20, 3),
+        "reduced_mb": round(reduced.memory_bytes() / 2**20, 3),
+    }

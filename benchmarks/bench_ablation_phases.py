@@ -1,0 +1,25 @@
+"""Section 3.5 phase breakdown — labels 76% / min-cycle 14% / update 8%.
+
+Reproduces the paper's claim that Algorithm-3 label computation dominates
+the MCB processing time, which is why the label stage is the main
+parallelisation target and why dependent stages cap the available
+parallelism.
+"""
+
+import pytest
+
+from repro.bench import expected, format_kv, run_phase_breakdown
+
+
+@pytest.mark.parametrize("name", ["cond_mat_2003", "c-50"])
+def test_phase_breakdown(benchmark, scale, name):
+    frac = benchmark.pedantic(
+        lambda: run_phase_breakdown(name, scale=scale), rounds=1, iterations=1
+    )
+    print()
+    print(format_kv(frac, title=f"{name}: modeled kernel-time shares"))
+    print(format_kv(expected.PHASE_FRACTIONS, title="paper"))
+    # Shape: labels dominate, update is the smallest or near it.
+    assert frac["labels"] == max(frac.values())
+    assert frac["labels"] > 0.4
+    benchmark.extra_info[name] = {k: round(v, 3) for k, v in frac.items()}

@@ -1,0 +1,108 @@
+"""Ablation — dynamic double-ended work queue vs static splits (§2.3).
+
+The paper chose the [19] queue because "a static approach for work
+balancing can fall short".  This ablation replays a skewed work-unit
+distribution (a few huge BCC-sized units plus many small ones, as in the
+real datasets) under (a) the dynamic queue, (b) a static 50/50 split, and
+(c) a static bandwidth-proportional split — the dynamic queue's makespan
+must beat or match the best static one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.hetero import (
+    HeterogeneousExecutor,
+    Platform,
+    WorkUnit,
+    cpu_device,
+    gpu_device,
+)
+
+
+def skewed_units(seed=0, n_small=120, n_big=6):
+    rng = np.random.default_rng(seed)
+    works = np.concatenate(
+        [rng.uniform(1e6, 5e6, n_small), rng.uniform(4e8, 9e8, n_big)]
+    )
+    return [
+        WorkUnit(uid=i, fn=lambda: None, work=float(w), items=20_000)
+        for i, w in enumerate(works)
+    ]
+
+
+def static_split_makespan(units, frac_to_gpu):
+    """Assign the biggest `frac` of work to the GPU up front."""
+    cpu, gpu = cpu_device(), gpu_device()
+    ordered = sorted(units, key=lambda u: -u.work)
+    total = sum(u.work for u in units)
+    gpu_units, cpu_units, acc = [], [], 0.0
+    for u in ordered:
+        if acc < frac_to_gpu * total:
+            gpu_units.append(u)
+            acc += u.work
+        else:
+            cpu_units.append(u)
+    t_gpu = sum(gpu.cost([u]) for u in gpu_units)
+    t_cpu = sum(cpu.cost([u]) for u in cpu_units)
+    return max(t_gpu, t_cpu)
+
+
+def dynamic_makespan(units):
+    plat = Platform.heterogeneous()
+    ex = HeterogeneousExecutor(plat)
+    return ex.run_stage(list(units)).makespan
+
+
+def test_dynamic_queue_beats_static(benchmark):
+    units = skewed_units()
+    dyn = benchmark.pedantic(lambda: dynamic_makespan(units), rounds=1, iterations=1)
+    static_half = static_split_makespan(units, 0.5)
+    # bandwidth-proportional "oracle" static split
+    from repro.hetero.device import CPU_SOCKET_BW, GPU_EFFECTIVE_BW
+
+    frac = GPU_EFFECTIVE_BW / (GPU_EFFECTIVE_BW + CPU_SOCKET_BW)
+    static_prop = static_split_makespan(units, frac)
+    print()
+    print(
+        format_table(
+            ["scheduler", "makespan (s)"],
+            [
+                ("dynamic deque [19]", dyn),
+                ("static 50/50", static_half),
+                ("static bandwidth-proportional", static_prop),
+            ],
+            title="Work scheduling ablation",
+        )
+    )
+    # The paper's claim: dynamic balancing beats a naive static split.
+    assert dyn <= static_half * 1.05
+    # The bandwidth-proportional split is an *oracle* (it knows the exact
+    # device rates a priori); dynamic must stay in its ballpark.
+    assert dyn <= static_prop * 1.5
+    benchmark.extra_info["makespans"] = {
+        "dynamic": dyn,
+        "static_half": static_half,
+        "static_prop": static_prop,
+    }
+
+
+def test_gpu_gets_big_units(benchmark):
+    """The sorted deque serves big units to the GPU end, as specified."""
+    units = skewed_units(seed=3)
+    plat = Platform.heterogeneous()
+    ex = HeterogeneousExecutor(plat)
+
+    taken = {"cpu": [], "gpu": []}
+    for d in plat.devices:
+        orig = d.execute
+
+        def wrapped(batch, d=d, orig=orig):
+            taken[d.name] += [u.work for u in batch]
+            return orig(batch)
+
+        d.execute = wrapped
+    benchmark.pedantic(lambda: ex.run_stage(list(units)), rounds=1, iterations=1)
+    assert max(taken["gpu"]) >= max(taken["cpu"])
+    assert np.mean(taken["gpu"]) > np.mean(taken["cpu"])

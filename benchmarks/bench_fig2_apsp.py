@@ -1,0 +1,60 @@
+"""Figure 2 — APSP wall-clock: Our Approach vs Banerjee [4] and Djidjev [12].
+
+Every run cross-checks 500 random distances between the two matrices
+before timing is reported.  Expected shape (paper): ours wins on average
+(≈1.7× general, ≈2.2× planar) with the margin growing with the degree-2
+fraction; near-zero-degree-2 graphs (nopoly, delaunay) are ~breakeven.
+"""
+
+import pytest
+
+from repro.bench import expected, format_table, geometric_mean, run_fig2
+
+
+def test_fig2_general_graphs(benchmark, fig2_rows):
+    rows = [r for r in fig2_rows if r.kind == "general"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["graph", "t_ours(s)", "t_banerjee(s)", "speedup", "removed%"],
+            [(r.name, r.t_ours, r.t_baseline, r.speedup, r.nodes_removed_pct) for r in rows],
+            title="Figure 2 (general graphs)",
+        )
+    )
+    avg = geometric_mean(r.speedup for r in rows)
+    print(f"avg speedup: measured {avg:.2f}x, paper {expected.FIG2_AVG_SPEEDUP['vs_banerjee_general']}x")
+    # Shape assertions: the chain-heavy graphs must show clear wins.
+    heavy = [r for r in rows if r.nodes_removed_pct > 40]
+    assert all(r.speedup > 1.0 for r in heavy)
+    # and the margin must grow with removed%
+    light_avg = geometric_mean(r.speedup for r in rows if r.nodes_removed_pct < 10)
+    heavy_avg = geometric_mean(r.speedup for r in heavy)
+    assert heavy_avg > light_avg
+    benchmark.extra_info["avg_speedup_vs_banerjee"] = round(avg, 3)
+
+
+def test_fig2_planar_graphs(benchmark, fig2_rows):
+    rows = [r for r in fig2_rows if r.kind == "planar"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["graph", "t_ours(s)", "t_djidjev(s)", "speedup", "removed%"],
+            [(r.name, r.t_ours, r.t_baseline, r.speedup, r.nodes_removed_pct) for r in rows],
+            title="Figure 2 (planar graphs)",
+        )
+    )
+    avg = geometric_mean(r.speedup for r in rows)
+    print(f"avg speedup: measured {avg:.2f}x, paper {expected.FIG2_AVG_SPEEDUP['vs_djidjev_planar']}x")
+    assert avg > 0.8  # never catastrophically slower
+    benchmark.extra_info["avg_speedup_vs_djidjev"] = round(avg, 3)
+
+
+def test_fig2_timing_kernel(benchmark, scale):
+    """pytest-benchmark timing of the headline pipeline on one dataset."""
+    from repro import datasets
+    from repro.apsp import ear_apsp_full
+
+    g = datasets.load("as-22july06", scale)
+    benchmark(ear_apsp_full, g)

@@ -1,0 +1,44 @@
+"""Figure 3 — MTEPS (|E|·|V| / seconds / 1e6) for the Figure 2 runs.
+
+Expected shape: "Our Approach" posts higher MTEPS than the corresponding
+baseline on the same graphs it wins on in Figure 2, and MTEPS grows with
+graph size (the metric rewards scalability).
+"""
+
+import pytest
+
+from repro.bench import format_table, run_fig2, run_fig3
+
+
+SUBSET = [
+    "nopoly", "as-22july06", "c-50", "cond_mat_2003",
+    "Wordnet3", "Planar_1", "Planar_3", "Planar_5",
+]
+
+
+@pytest.fixture(scope="module")
+def rows(fig2_rows):
+    return [r for r in fig2_rows if r.name in SUBSET]
+
+
+def test_fig3_mteps(benchmark, rows):
+    series = benchmark.pedantic(lambda: run_fig3(rows), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["graph", "kind", "MTEPS ours", "MTEPS baseline", "ratio"],
+            [
+                (d["name"], d["kind"], d["mteps_ours"], d["mteps_baseline"],
+                 d["mteps_ours"] / d["mteps_baseline"])
+                for d in series
+            ],
+            title="Figure 3 (reproduced)",
+        )
+    )
+    by_name = {d["name"]: d for d in series}
+    # Chain-heavy general graphs must be more scalable under our approach.
+    for name in ("as-22july06", "c-50", "Wordnet3"):
+        assert by_name[name]["mteps_ours"] > by_name[name]["mteps_baseline"], name
+    benchmark.extra_info["mteps"] = {
+        d["name"]: round(d["mteps_ours"], 1) for d in series
+    }

@@ -1,0 +1,51 @@
+"""Scale-convergence check for the virtual platform speedups.
+
+The paper's graphs are 10–130K vertices; the default benches run at a few
+percent of that, which compresses the Figure-5 parallel speedups (per-phase
+kernels become dispatch-overhead bound).  This bench runs the flagship
+chain-heavy dataset (as-22july06, 77% removable) at three growing scales
+and checks that every parallel implementation's speedup over sequential
+*increases with scale* — i.e. the measured numbers converge toward the
+paper's as the workload grows, which is the fidelity claim EXPERIMENTS.md
+makes quantitative.
+"""
+
+import pytest
+
+from repro import datasets
+from repro.bench import format_table
+from repro.hetero import run_mcb_on_platforms
+
+SCALES = [0.02, 0.045, 0.08]
+
+
+def test_speedup_grows_with_scale(benchmark):
+    def run():
+        rows = []
+        for s in SCALES:
+            g = datasets.load("as-22july06", scale=s)
+            res = run_mcb_on_platforms(g, use_ear=True)
+            sp = res.speedups_vs_sequential()
+            rows.append((s, g.n, sp["multicore"], sp["gpu"], sp["cpu+gpu"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["scale", "|V|", "multicore x", "gpu x", "cpu+gpu x"],
+            rows,
+            title="as-22july06: Figure-5 speedups vs dataset scale (paper: 3/9/11)",
+        )
+    )
+    for col in (2, 3, 4):
+        series = [r[col] for r in rows]
+        assert series[-1] > series[0], ("speedup should grow with scale", col, series)
+    # at the largest scale the ordering and a hetero win must be visible
+    _, _, mc, gpu, het = rows[-1]
+    assert het >= max(mc, gpu) * 0.95
+    assert het > 2.0
+    benchmark.extra_info["trend"] = [
+        {"scale": s, "multicore": round(a, 2), "gpu": round(b, 2), "hetero": round(c, 2)}
+        for s, _, a, b, c in rows
+    ]

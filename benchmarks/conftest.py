@@ -1,0 +1,38 @@
+"""Benchmark configuration.
+
+``REPRO_BENCH_SCALE`` controls the stand-in dataset sizes (fraction of the
+paper's |V|/|E|; default 0.04).  Structure percentages are scale-invariant
+so speedup *shapes* are comparable at any scale; absolute seconds are not
+comparable to the paper's multi-hour runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", 0.04))
+
+
+@pytest.fixture(scope="session")
+def table2(scale):
+    """Shared Table-2 computation (used by table2/fig5/fig6 benches)."""
+    from repro.bench import run_table2
+
+    return run_table2(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def fig2_rows(scale):
+    """Shared Figure-2 computation (used by fig2/fig3 benches)."""
+    from repro.bench import run_fig2
+
+    return run_fig2(scale=scale)
+
+
+def pytest_report_header(config):
+    return f"repro benchmarks: REPRO_BENCH_SCALE={os.environ.get('REPRO_BENCH_SCALE', 0.04)}"

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Mesh-current analysis of a resistor network via minimum cycle basis.
+
+The paper cites electric networks [11] as an MCB application: Kirchhoff's
+voltage law gives one independent equation per basis cycle, and using the
+*minimum* cycle basis keeps the mesh equations as short (sparse) as
+possible.  This example builds a resistor grid with one voltage source,
+takes the basis cycles from ``repro.mcb``, solves the mesh-current system
+with numpy, and cross-checks the resulting node potentials against the
+classical node-voltage (graph Laplacian) solution.
+
+Run:  python examples/electrical_network.py
+"""
+
+import numpy as np
+
+from repro.graph import CSRGraph, grid_graph, randomize_weights
+from repro.mcb import minimum_cycle_basis, verify_cycle_basis
+
+
+def oriented_cycle_edges(g: CSRGraph, cycle) -> list[tuple[int, int]]:
+    """``(edge id, ±1)`` walking the cycle in a consistent direction.
+
+    The sign is +1 when the walk traverses the edge from its canonical
+    ``edge_u`` endpoint to ``edge_v``.
+    """
+    seq = cycle.vertex_sequence(g)
+    eids = set(int(e) for e in cycle.edge_ids)
+    out = []
+    for a, b in zip(seq, seq[1:] + seq[:1]):
+        for e in eids:
+            u, v = g.edge_endpoints(e)
+            if {u, v} == {a, b}:
+                out.append((e, 1 if (u, v) == (a, b) else -1))
+                eids.remove(e)
+                break
+    return out
+
+
+def solve_by_mesh_currents(g, resist, source_edge, emf):
+    """Loop analysis: one unknown per MCB cycle."""
+    basis = minimum_cycle_basis(g.with_weights(resist))
+    assert verify_cycle_basis(g.with_weights(resist), basis).ok
+    k = len(basis)
+    orientations = [oriented_cycle_edges(g, c) for c in basis]
+    # edge -> list of (cycle index, sign)
+    incidence: dict[int, list[tuple[int, int]]] = {}
+    for ci, oriented in enumerate(orientations):
+        for e, s in oriented:
+            incidence.setdefault(e, []).append((ci, s))
+    # KVL: sum over edges of R_e * (net mesh current through e) = emf terms
+    A = np.zeros((k, k))
+    b = np.zeros(k)
+    for e, members in incidence.items():
+        for ci, si in members:
+            for cj, sj in members:
+                A[ci, cj] += resist[e] * si * sj
+            if e == source_edge:
+                b[ci] += emf * si
+    mesh = np.linalg.solve(A, b)
+    # branch currents
+    branch = np.zeros(g.m)
+    for e, members in incidence.items():
+        branch[e] = sum(mesh[ci] * si for ci, si in members)
+    return basis, branch
+
+
+def solve_by_node_potentials(g, resist, source_edge, emf):
+    """Classical nodal analysis with an ideal EMF inserted on one edge."""
+    n = g.n
+    G = np.zeros((n, n))  # conductance Laplacian
+    inj = np.zeros(n)
+    for e in range(g.m):
+        u, v = g.edge_endpoints(e)
+        c = 1.0 / resist[e]
+        G[u, u] += c
+        G[v, v] += c
+        G[u, v] -= c
+        G[v, u] -= c
+        if e == source_edge:
+            # EMF in series with R_e: equivalent current injection
+            inj[v] += emf * c
+            inj[u] -= emf * c
+    # ground node 0
+    pot = np.zeros(n)
+    pot[1:] = np.linalg.solve(G[1:, 1:], inj[1:])
+    # branch currents from potentials (+ source term on the EMF edge)
+    branch = np.zeros(g.m)
+    for e in range(g.m):
+        u, v = g.edge_endpoints(e)
+        drive = emf if e == source_edge else 0.0
+        branch[e] = (pot[u] - pot[v] + drive) / resist[e]
+    return branch
+
+
+def main() -> None:
+    g = grid_graph(4, 5)
+    rng = np.random.default_rng(3)
+    resist = rng.uniform(1.0, 10.0, g.m)  # ohms
+    source_edge = 0
+    emf = 12.0  # volts
+
+    basis, mesh_branch = solve_by_mesh_currents(g, resist, source_edge, emf)
+    node_branch = solve_by_node_potentials(g, resist, source_edge, emf)
+
+    print(f"resistor grid: {g.n} nodes, {g.m} branches, "
+          f"{len(basis)} independent loops (= m - n + 1 = {g.m - g.n + 1})")
+    print(f"loop sizes: {sorted(len(c) for c in basis)} "
+          f"(MCB keeps every mesh equation minimal)")
+    err = np.max(np.abs(mesh_branch - node_branch))
+    print(f"mesh-current vs node-potential branch currents: "
+          f"max |Δ| = {err:.2e} A")
+    assert err < 1e-9
+    total_in = mesh_branch[source_edge]
+    print(f"source branch current: {total_in:.4f} A at {emf} V "
+          f"(network input resistance {emf / total_in:.3f} Ω)")
+    # Kirchhoff's current law at every node, as a final sanity check.
+    kcl = np.zeros(g.n)
+    for e in range(g.m):
+        u, v = g.edge_endpoints(e)
+        kcl[u] -= mesh_branch[e]
+        kcl[v] += mesh_branch[e]
+    assert np.max(np.abs(kcl)) < 1e-9
+    print("KCL satisfied at every node — loop analysis agrees with nodal analysis")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate every artifact of the reproduction from scratch.
+#
+#   REPRO_BENCH_SCALE=0.04 ./scripts/run_full_evaluation.sh
+#
+# Produces test_output.txt and bench_output.txt in the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== benchmarks (every paper table/figure + ablations) =="
+python -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt
+
+echo "== examples =="
+for f in examples/*.py; do
+    echo "--- $f"
+    python "$f"
+done

@@ -1,0 +1,160 @@
+"""Space-efficient exact distance oracle (Section 2.3's memory story).
+
+Instead of the ``O(n²)`` full matrix, the oracle stores only the
+per-biconnected-component tables ``Aᵢ`` and the articulation-point table
+``A`` — ``O(a² + Σ nᵢ²)`` entries — and answers arbitrary ``d(u, v)``
+queries exactly through the block-cut tree:
+
+``d(u, v) = d_i(u, a1) + A[a1, a2] + d_j(a2, v)``
+
+where ``a1``/``a2`` are the articulation points bracketing every ``u–v``
+path (Section 2.2, Stage 2).  Same-component queries are table lookups.
+
+:func:`memory_model` reproduces the two memory columns of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..decomposition.biconnected import biconnected_components
+from ..decomposition.block_cut_tree import BlockCutTree
+from ..graph.csr import CSRGraph
+from .composition import Solver, build_component_tables
+
+__all__ = ["DistanceOracle", "memory_model"]
+
+
+class DistanceOracle:
+    """Exact all-pairs distance oracle with the paper's memory footprint."""
+
+    def __init__(self, g: CSRGraph, solver: Solver | None = None) -> None:
+        self.graph = g
+        bcc = biconnected_components(g)
+        self.tables = build_component_tables(g, solver=solver, bcc=bcc)
+        self.tree = BlockCutTree(g, bcc)
+        # Local index of each vertex inside each of its components.
+        self._local = self.tables.vertex_local
+
+    # ------------------------------------------------------------------ #
+
+    def _local_index(self, cid: int, v: int) -> int:
+        for c, li in self._local[int(v)]:
+            if c == cid:
+                return li
+        raise KeyError(f"vertex {v} not in component {cid}")
+
+    def query(self, u: int, v: int) -> float:
+        """Exact shortest-path distance between ``u`` and ``v``.
+
+        ``inf`` when disconnected.  O(1) table lookups plus an O(log n)
+        LCA for cross-component pairs.
+        """
+        if u == v:
+            return 0.0
+        memb_u = self._local.get(int(u), [])
+        memb_v = self._local.get(int(v), [])
+        if not memb_u or not memb_v:
+            return float("inf")  # isolated vertex
+        # Same component: direct lookup (min over shared components — an
+        # AP pair can share several).
+        shared = {c for c, _ in memb_u} & {c for c, _ in memb_v}
+        if shared:
+            return min(
+                float(self.tables.tables[c][self._local_index(c, u), self._local_index(c, v)])
+                for c in shared
+            )
+        try:
+            bracket = self.tree.boundary_aps(u, v)
+        except ValueError:
+            return float("inf")
+        if bracket is None:  # same block found via the tree — handled above
+            return float("inf")
+        a1, a2 = bracket
+        # d(u, a1) within u's block on the path side; a1 is in *some*
+        # shared component with u — min over u's components containing a1.
+        d_u = self._vertex_to_ap(memb_u, u, a1)
+        d_v = self._vertex_to_ap(memb_v, v, a2)
+        mid = float(
+            self.tables.ap_matrix[
+                self.tables.ap_index[a1], self.tables.ap_index[a2]
+            ]
+        )
+        return d_u + mid + d_v
+
+    def _vertex_to_ap(self, memberships: list[tuple[int, int]], v: int, ap: int) -> float:
+        best = float("inf")
+        for cid, li in memberships:
+            for c2, la in self._local.get(int(ap), []):
+                if c2 == cid:
+                    best = min(best, float(self.tables.tables[cid][li, la]))
+        return best
+
+    def query_many(self, pairs: np.ndarray) -> np.ndarray:
+        """Vectorised entry point: ``pairs`` is ``(k, 2)`` → ``k`` distances."""
+        pairs = np.asarray(pairs)
+        return np.fromiter(
+            (self.query(int(a), int(b)) for a, b in pairs),
+            dtype=np.float64,
+            count=len(pairs),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self, dtype_bytes: int = 4) -> int:
+        """Bytes of distance storage held (the "Our's Memory" column)."""
+        return self.tables.table_bytes(dtype_bytes)
+
+    def full_matrix_bytes(self, dtype_bytes: int = 4) -> int:
+        """Bytes a dense ``n × n`` table would need ("Max Memory")."""
+        return self.graph.n * self.graph.n * dtype_bytes
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Both memory columns of Table 1, in megabytes."""
+
+    ours_mb: float
+    max_mb: float
+
+    @property
+    def saving_factor(self) -> float:
+        return self.max_mb / self.ours_mb if self.ours_mb else float("inf")
+
+
+def memory_model(g: CSRGraph, dtype_bytes: int = 4, reduced: bool = False) -> MemoryModel:
+    """Compute the ``a² + Σ nᵢ²`` vs ``n²`` storage model without solving.
+
+    Only the decompositions run (cheap); no distance tables are built, so
+    this scales to the full-size Table 1 stand-ins.
+
+    With ``reduced=True`` each component counts only its ear-*reduced*
+    vertex count (plus three scalars per removed vertex for the
+    ``left/right/offset`` anchor arrays): the footprint of an oracle that
+    stores ``S^r`` and answers removed-vertex queries through the
+    Section 2.1.3 formulas on the fly.  The paper's Table 1 savings for
+    single-BCC, chain-heavy graphs (c-50) are only explainable with this
+    accounting — the plain per-component formula gives no saving when the
+    graph is one biconnected component.
+    """
+    from .composition import build_component_tables  # noqa: F401 (doc xref)
+    from ..decomposition.reduce import reduce_graph
+
+    bcc = biconnected_components(g)
+    entries = 0
+    for cid, verts in enumerate(bcc.component_vertices):
+        if reduced:
+            sub, _ = bcc.component_subgraph(g, cid)
+            red = reduce_graph(sub, keep=bcc.component_keep_mask(g, cid))
+            entries += int(red.graph.n) ** 2 + 3 * red.n_removed
+        else:
+            entries += int(verts.size) ** 2
+    a = int(bcc.is_articulation.sum())
+    entries += a * a
+    mb = 1.0 / (1024 * 1024)
+    return MemoryModel(
+        ours_mb=entries * dtype_bytes * mb,
+        max_mb=g.n * g.n * dtype_bytes * mb,
+    )

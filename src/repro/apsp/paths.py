@@ -1,0 +1,159 @@
+"""Shortest-path reconstruction through the ear reduction.
+
+``ear_apsp_full`` returns distances; this module returns the actual
+vertex paths while still doing all heavy work on the reduced graph:
+predecessor matrices are built for ``G^r`` only, and a query stitches
+
+``u —(chain walk)— anchor —(reduced path, chains re-expanded)— anchor —(chain walk)— v``
+
+choosing the best of the Section 2.1.3 anchor combinations (plus the
+along-the-chain direct route when both endpoints share a chain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse.csgraph as csgraph
+
+from ..decomposition.reduce import ReducedGraph, reduce_graph
+from ..graph.csr import CSRGraph
+from ..sssp.engine import adjacency_matrix
+
+__all__ = ["EarPathReconstructor"]
+
+_NO_PRED = -9999
+
+
+class EarPathReconstructor:
+    """Exact point-to-point shortest paths with reduced-graph storage."""
+
+    def __init__(self, g: CSRGraph) -> None:
+        self.graph = g
+        self.red: ReducedGraph = reduce_graph(g)
+        simple = self.red.simple_graph()
+        if simple.n:
+            mat = adjacency_matrix(simple)
+            self.dist_r, self.pred_r = csgraph.dijkstra(
+                mat, directed=False, return_predecessors=True
+            )
+        else:
+            self.dist_r = np.zeros((0, 0))
+            self.pred_r = np.zeros((0, 0), dtype=np.int64)
+        # Cheapest chain per reduced vertex pair, for re-expanding steps
+        # of the reduced path (parallel chains keep only the lightest).
+        self._pair_chain: dict[tuple[int, int], int] = {}
+        rid = self.red.reduced_id
+        for cidx, chain in enumerate(self.red.chains):
+            a, b = int(rid[chain.left]), int(rid[chain.right])
+            key = (min(a, b), max(a, b))
+            prev = self._pair_chain.get(key)
+            if prev is None or chain.weight < self.red.chains[prev].weight:
+                self._pair_chain[key] = cidx
+
+    # ------------------------------------------------------------------ #
+
+    def _anchors(self, x: int) -> list[tuple[int, float, list[int]]]:
+        """``(reduced anchor id, distance, walk x→anchor)`` options."""
+        red = self.red
+        if red.kept_mask[x]:
+            return [(int(red.reduced_id[x]), 0.0, [int(x)])]
+        chain = red.chains[int(red.chain_of[x])]
+        pos = int(red.pos_in_chain[x])
+        left_walk = [int(v) for v in chain.vertices[: pos + 1][::-1]]
+        right_walk = [int(v) for v in chain.vertices[pos:]]
+        return [
+            (int(red.reduced_id[chain.left]), float(red.dist_left[x]), left_walk),
+            (int(red.reduced_id[chain.right]), float(red.dist_right[x]), right_walk),
+        ]
+
+    def _reduced_vertex_path(self, a: int, b: int) -> list[int] | None:
+        """Reduced-graph vertex path ``a → b`` from the predecessor matrix."""
+        if a == b:
+            return [a]
+        if not np.isfinite(self.dist_r[a, b]):
+            return None
+        path = [b]
+        cur = b
+        while cur != a:
+            cur = int(self.pred_r[a, cur])
+            if cur == _NO_PRED:
+                return None
+            path.append(cur)
+        path.reverse()
+        return path
+
+    def _expand_reduced_path(self, rpath: list[int]) -> list[int]:
+        """Reduced vertex path → original vertex walk via chain expansion."""
+        red = self.red
+        out = [int(red.kept_ids[rpath[0]])]
+        for a, b in zip(rpath[:-1], rpath[1:]):
+            cidx = self._pair_chain[(min(a, b), max(a, b))]
+            chain = red.chains[cidx]
+            verts = [int(v) for v in chain.vertices]
+            if red.reduced_id[chain.left] != a:
+                verts = verts[::-1]
+            out.extend(verts[1:])
+        return out
+
+    def path(self, u: int, v: int) -> tuple[float, list[int]]:
+        """``(distance, vertex path)``; ``(inf, [])`` when disconnected."""
+        if u == v:
+            return 0.0, [int(u)]
+        red = self.red
+        best: tuple[float, list[int]] | None = None
+
+        # Direct along-the-chain route when both live on one chain.
+        if (
+            not red.kept_mask[u]
+            and not red.kept_mask[v]
+            and red.chain_of[u] == red.chain_of[v]
+        ):
+            chain = red.chains[int(red.chain_of[u])]
+            pu, pv = int(red.pos_in_chain[u]), int(red.pos_in_chain[v])
+            lo, hi = min(pu, pv), max(pu, pv)
+            d = float(abs(chain.prefix[pu] - chain.prefix[pv]))
+            walk = [int(x) for x in chain.vertices[lo : hi + 1]]
+            if pu > pv:
+                walk = walk[::-1]
+            best = (d, walk)
+
+        for au, du, walk_u in self._anchors(u):
+            for av, dv, walk_v in self._anchors(v):
+                mid = float(self.dist_r[au, av]) if self.dist_r.size else np.inf
+                total = du + mid + dv
+                if not np.isfinite(total):
+                    continue
+                if best is not None and total >= best[0] - 1e-12:
+                    continue
+                rpath = self._reduced_vertex_path(au, av)
+                if rpath is None:
+                    continue
+                mid_walk = self._expand_reduced_path(rpath)
+                # walk_u runs u→au (au == mid_walk[0]); mid_walk runs au→av;
+                # walk_v runs v→av, so its reverse continues av→v.
+                walk = walk_u + mid_walk[1:] + walk_v[::-1][1:]
+                best = (total, walk)
+        if best is None:
+            return float("inf"), []
+        return best
+
+    def distance(self, u: int, v: int) -> float:
+        """Distance only (same minimisation, no walk assembly)."""
+        if u == v:
+            return 0.0
+        red = self.red
+        best = np.inf
+        if (
+            not red.kept_mask[u]
+            and not red.kept_mask[v]
+            and red.chain_of[u] == red.chain_of[v]
+        ):
+            chain = red.chains[int(red.chain_of[u])]
+            best = float(
+                abs(chain.prefix[red.pos_in_chain[u]] - chain.prefix[red.pos_in_chain[v]])
+            )
+        for au, du, _ in self._anchors(u):
+            for av, dv, _ in self._anchors(v):
+                mid = float(self.dist_r[au, av]) if self.dist_r.size else np.inf
+                best = min(best, du + mid + dv)
+        return float(best)

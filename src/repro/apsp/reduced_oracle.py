@@ -1,0 +1,193 @@
+"""Reduced-table distance oracle: ``S^r`` storage + on-the-fly formulas.
+
+:class:`repro.apsp.DistanceOracle` stores full per-component tables
+(every vertex of each BCC).  This variant goes one step further down the
+paper's own path: it stores only the **reduced** per-component tables
+(vertices of degree ≥ 3 plus articulation points) together with the
+three scalars per removed vertex (left/right anchors and chain offsets),
+and evaluates the Section 2.1.3 closed forms at query time.
+
+Storage is ``O(a² + Σ (nᵢʳ)² + n)`` — the accounting that reproduces the
+paper's Table-1 savings even for single-BCC, chain-heavy graphs (c-50:
+52% of vertices removed → tables shrink ~4×).
+
+Queries remain exact; the test-suite checks every pair against the full
+matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..decomposition.biconnected import biconnected_components
+from ..decomposition.block_cut_tree import BlockCutTree
+from ..decomposition.reduce import ReducedGraph, reduce_graph
+from ..graph.csr import CSRGraph
+from ..sssp.engine import all_pairs
+
+__all__ = ["ReducedDistanceOracle"]
+
+
+class _ComponentStore:
+    """Reduced table + anchor data for one biconnected component."""
+
+    __slots__ = ("red", "table", "vmap", "local")
+
+    def __init__(self, red: ReducedGraph, table: np.ndarray, vmap: np.ndarray):
+        self.red = red
+        self.table = table          # distances over red.graph vertices
+        self.vmap = vmap            # component-local -> global vertex ids
+        self.local = {int(v): i for i, v in enumerate(vmap)}
+
+    def dist(self, lu: int, lv: int) -> float:
+        """Exact distance between two component-local vertices."""
+        red = self.red
+        if lu == lv:
+            return 0.0
+        ku, kv = red.kept_mask[lu], red.kept_mask[lv]
+        s = self.table
+        rid = red.reduced_id
+        if ku and kv:
+            return float(s[rid[lu], rid[lv]])
+        if ku or kv:
+            x, v = (lv, lu) if ku else (lu, lv)
+            cx = red.chains[int(red.chain_of[x])]
+            lx, rx = rid[cx.left], rid[cx.right]
+            return float(
+                min(
+                    red.dist_left[x] + s[lx, rid[v]],
+                    red.dist_right[x] + s[rx, rid[v]],
+                )
+            )
+        # both removed
+        cx = red.chains[int(red.chain_of[lu])]
+        cy = red.chains[int(red.chain_of[lv])]
+        lx, rx = rid[cx.left], rid[cx.right]
+        ly, ry = rid[cy.left], rid[cy.right]
+        dlu, dru = red.dist_left[lu], red.dist_right[lu]
+        dlv, drv = red.dist_left[lv], red.dist_right[lv]
+        best = min(
+            dlu + s[lx, ly] + dlv,
+            dlu + s[lx, ry] + drv,
+            dru + s[rx, ly] + dlv,
+            dru + s[rx, ry] + drv,
+        )
+        if red.chain_of[lu] == red.chain_of[lv]:
+            direct = abs(
+                float(cx.prefix[red.pos_in_chain[lu]])
+                - float(cx.prefix[red.pos_in_chain[lv]])
+            )
+            best = min(best, direct)
+        return float(best)
+
+    def entries(self) -> int:
+        """Stored distance entries plus anchor scalars."""
+        return int(self.table.size) + 3 * self.red.n_removed
+
+
+class ReducedDistanceOracle:
+    """Exact APSP oracle over reduced per-component tables."""
+
+    def __init__(self, g: CSRGraph) -> None:
+        self.graph = g
+        bcc = biconnected_components(g)
+        self.tree = BlockCutTree(g, bcc)
+        self.bcc = bcc
+        self.stores: list[_ComponentStore] = []
+        self._memberships: dict[int, list[int]] = {}
+        for cid in range(bcc.count):
+            sub, vmap = bcc.component_subgraph(g, cid)
+            red = reduce_graph(sub, keep=bcc.component_keep_mask(g, cid))
+            table = all_pairs(red.simple_graph())
+            self.stores.append(_ComponentStore(red, table, vmap))
+            for v in vmap:
+                self._memberships.setdefault(int(v), []).append(cid)
+        # Articulation-point closure (same construction as composition.py,
+        # but fed by the reduced stores).
+        self.ap_ids = bcc.articulation_points
+        self.ap_index = {int(v): i for i, v in enumerate(self.ap_ids)}
+        a = len(self.ap_ids)
+        if a:
+            import scipy.sparse as sp
+            import scipy.sparse.csgraph as csgraph
+
+            best: dict[tuple[int, int], float] = {}
+            for cid, store in enumerate(self.stores):
+                aps_here = [
+                    (self.ap_index[int(v)], store.local[int(v)])
+                    for v in self.bcc.component_vertices[cid]
+                    if int(v) in self.ap_index
+                ]
+                for x, (gi, li) in enumerate(aps_here):
+                    for gj, lj in aps_here[x + 1 :]:
+                        w = store.dist(li, lj)
+                        if not np.isfinite(w):
+                            continue
+                        key = (min(gi, gj), max(gi, gj))
+                        w = max(w, 1e-300)
+                        if key not in best or w < best[key]:
+                            best[key] = w
+            if best:
+                rows = np.fromiter((k[0] for k in best), dtype=np.int64, count=len(best))
+                cols = np.fromiter((k[1] for k in best), dtype=np.int64, count=len(best))
+                vals = np.fromiter(best.values(), dtype=np.float64, count=len(best))
+                mat = sp.coo_matrix((vals, (rows, cols)), shape=(a, a)).tocsr()
+            else:
+                mat = sp.csr_matrix((a, a))
+            self.ap_matrix = np.asarray(csgraph.dijkstra(mat, directed=False))
+            np.fill_diagonal(self.ap_matrix, 0.0)
+        else:
+            self.ap_matrix = np.zeros((0, 0))
+
+    # ------------------------------------------------------------------ #
+
+    def _intra(self, cid: int, u: int, v: int) -> float:
+        store = self.stores[cid]
+        return store.dist(store.local[int(u)], store.local[int(v)])
+
+    def _to_ap(self, memberships: list[int], v: int, ap: int) -> float:
+        best = float("inf")
+        for cid in memberships:
+            store = self.stores[cid]
+            la = store.local.get(int(ap))
+            if la is not None:
+                best = min(best, store.dist(store.local[int(v)], la))
+        return best
+
+    def query(self, u: int, v: int) -> float:
+        """Exact shortest-path distance (``inf`` when disconnected)."""
+        if u == v:
+            return 0.0
+        mu = self._memberships.get(int(u), [])
+        mv = self._memberships.get(int(v), [])
+        if not mu or not mv:
+            return float("inf")
+        shared = set(mu) & set(mv)
+        if shared:
+            return min(self._intra(c, u, v) for c in shared)
+        try:
+            bracket = self.tree.boundary_aps(u, v)
+        except ValueError:
+            return float("inf")
+        if bracket is None:  # pragma: no cover - shared-block handled above
+            return float("inf")
+        a1, a2 = bracket
+        mid = float(self.ap_matrix[self.ap_index[a1], self.ap_index[a2]])
+        return self._to_ap(mu, u, a1) + mid + self._to_ap(mv, v, a2)
+
+    def query_many(self, pairs: np.ndarray) -> np.ndarray:
+        """Vectorised entry point over a ``(k, 2)`` pair array."""
+        pairs = np.asarray(pairs)
+        return np.fromiter(
+            (self.query(int(a), int(b)) for a, b in pairs),
+            dtype=np.float64,
+            count=len(pairs),
+        )
+
+    def memory_bytes(self, dtype_bytes: int = 4) -> int:
+        """Stored entries × entry size (compare with the dense table)."""
+        entries = int(self.ap_matrix.size) + sum(s.entries() for s in self.stores)
+        return entries * dtype_bytes
+
+    def full_matrix_bytes(self, dtype_bytes: int = 4) -> int:
+        return self.graph.n * self.graph.n * dtype_bytes

@@ -1,0 +1,100 @@
+"""Paper-reported values, for the paper-vs-measured columns.
+
+All numbers transcribed from the IJNC 2018 text: Table 1 (memory MB),
+Table 2 (MCB seconds, 'K' = thousands of seconds), and the average
+speedups quoted in Sections 2.4.3 and 3.5.  Used by the benchmark
+reporters and EXPERIMENTS.md; never by the algorithms.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_MEMORY_MB",
+    "TABLE2_SECONDS",
+    "FIG2_AVG_SPEEDUP",
+    "FIG5_AVG_SPEEDUP",
+    "EAR_SPEEDUP_BY_IMPL",
+    "PHASE_FRACTIONS",
+]
+
+#: Table 1: (ours_mb, max_mb) per dataset.
+TABLE1_MEMORY_MB: dict[str, tuple[int, int]] = {
+    "nopoly": (443, 443),
+    "OPF_3754": (873, 909),
+    "ca-AstroPh": (970, 1344),
+    "as-22july06": (851, 2012),
+    "c-50": (651, 1914),
+    "cond_mat_2003": (1826, 3705),
+    "delaunay_n15": (4096, 4096),
+    "Rajat26": (7176, 9934),
+    "Wordnet3": (4663, 26071),
+    "soc-signs-epinions": (12932, 66294),
+    "Planar_1": (1278, 1296),
+    "Planar_2": (1627, 1881),
+    "Planar_3": (2068, 2275),
+    "Planar_4": (3890, 4074),
+    "Planar_5": (4350, 4942),
+}
+
+#: Table 2: seconds for {impl: (with_ear, without_ear)}; 'K' expanded.
+TABLE2_SECONDS: dict[str, dict[str, tuple[float, float]]] = {
+    "nopoly": {
+        "sequential": (7830, 7830),
+        "multicore": (2340, 2350),
+        "gpu": (602, 604),
+        "cpu+gpu": (624, 624),
+    },
+    "OPF_3754": {
+        "sequential": (44580, 44580),
+        "multicore": (11800, 11800),
+        "gpu": (3800, 3800),
+        "cpu+gpu": (3200, 3200),
+    },
+    "ca-AstroPh": {
+        "sequential": (246300, 271300),
+        "multicore": (75060, 81500),
+        "gpu": (38040, 40150),
+        "cpu+gpu": (27600, 27600),
+    },
+    "as-22july06": {
+        "sequential": (570, 7400),
+        "multicore": (170, 1800),
+        "gpu": (134, 1290),
+        "cpu+gpu": (90, 940),
+    },
+    "c-50": {
+        "sequential": (17050, 28070),
+        "multicore": (6170, 9800),
+        "gpu": (2900, 4278),
+        "cpu+gpu": (2020, 3030),
+    },
+    "cond_mat_2003": {
+        "sequential": (141300, 177600),
+        "multicore": (35900, 44200),
+        "gpu": (14890, 17970),
+        "cpu+gpu": (10900, 13200),
+    },
+    "delaunay_n15": {
+        "sequential": (272500, 272500),
+        "multicore": (59500, 59500),
+        "gpu": (18370, 18370),
+        "cpu+gpu": (15800, 15800),
+    },
+}
+
+#: Figure 2 average speedups of "Our Approach".
+FIG2_AVG_SPEEDUP = {"vs_banerjee_general": 1.7, "vs_djidjev_planar": 2.2}
+
+#: Figure 5 average speedups over the sequential MCB implementation.
+FIG5_AVG_SPEEDUP = {"multicore": 3.0, "gpu": 9.0, "cpu+gpu": 11.0}
+
+#: Section 3.5: average speedup *due to ear decomposition* per implementation.
+EAR_SPEEDUP_BY_IMPL = {
+    "sequential": 3.1,
+    "multicore": 2.7,
+    "gpu": 2.5,
+    "cpu+gpu": 2.7,
+}
+
+#: Section 3.5: share of MCB processing time per step.
+PHASE_FRACTIONS = {"labels": 0.76, "scan": 0.14, "update": 0.08}

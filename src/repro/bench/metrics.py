@@ -1,0 +1,36 @@
+"""Benchmark metrics.
+
+MTEPS is defined as in the paper (Section 2.4.3): "the ratio of the
+product of the number of edges and number of vertices over the time taken
+in seconds" — i.e. traversed edges of an APSP-like computation, in
+millions per second.  Higher is more scalable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["mteps", "speedup", "geometric_mean"]
+
+
+def mteps(n: int, m: int, seconds: float) -> float:
+    """Million traversed edges per second for an all-sources traversal."""
+    if seconds <= 0:
+        return float("inf")
+    return (float(m) * float(n)) / seconds / 1e6
+
+
+def speedup(baseline_seconds: float, ours_seconds: float) -> float:
+    """How many times faster ours is than the baseline."""
+    if ours_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / ours_seconds
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the right average for speedups)."""
+    vals = [v for v in values if v > 0 and math.isfinite(v)]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,52 @@
+"""Plain-text reporting: aligned tables and paper-vs-measured summaries."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_kv", "ratio_note"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Monospace table with auto-sized columns."""
+
+    def cell(x: object) -> str:
+        if isinstance(x, float):
+            return float_fmt.format(x)
+        return str(x)
+
+    body = [[cell(x) for x in row] for row in rows]
+    cols = [list(col) for col in zip(*( [list(headers)] + body ))] if body else [[h] for h in headers]
+    widths = [max(len(c) for c in col) for col in cols]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict[str, object], title: str = "") -> str:
+    """Key/value block."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        sval = f"{v:.4g}" if isinstance(v, float) else str(v)
+        lines.append(f"  {k.ljust(width)} : {sval}")
+    return "\n".join(lines)
+
+
+def ratio_note(label: str, paper: float, measured: float) -> str:
+    """One paper-vs-measured comparison line."""
+    return (
+        f"{label}: paper={paper:.3g}  measured={measured:.3g}  "
+        f"(measured/paper={measured / paper:.2f})"
+    )

@@ -1,0 +1,110 @@
+"""Betweenness centrality (Brandes) on the CSR substrate.
+
+The paper's conclusion points at betweenness as the next path-based
+problem for ear techniques (the authors' companion work [32]; GPU
+betweenness is related work [34]).  This module provides the exact
+weighted/unweighted Brandes algorithm as the substrate for that line:
+one dependency-accumulation per source, which is precisely the work-unit
+granularity the heterogeneous executor schedules
+(:func:`hetero_betweenness`).
+
+Conventions match ``networkx.betweenness_centrality`` (undirected:
+each unordered pair contributes once; optional pair-count normalisation).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .graph.csr import CSRGraph
+
+__all__ = ["brandes_betweenness", "betweenness_source_pass", "hetero_betweenness"]
+
+
+def betweenness_source_pass(g: CSRGraph, s: int) -> np.ndarray:
+    """Brandes dependency accumulation for one source.
+
+    Returns the per-vertex dependency vector ``δ_s(·)``; summing over all
+    sources and halving gives undirected betweenness.  One call is one
+    heterogeneous work unit.
+    """
+    n = g.n
+    dist = np.full(n, np.inf)
+    sigma = np.zeros(n)
+    delta = np.zeros(n)
+    preds: list[list[int]] = [[] for _ in range(n)]
+    dist[s] = 0.0
+    sigma[s] = 1.0
+    heap: list[tuple[float, int]] = [(0.0, s)]
+    order: list[int] = []
+    done = np.zeros(n, dtype=bool)
+    indptr, indices, weights = g.indptr, g.indices, g.weights
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u] or d > dist[u]:
+            continue
+        done[u] = True
+        order.append(u)
+        for slot in range(indptr[u], indptr[u + 1]):
+            v = int(indices[slot])
+            if v == u:
+                continue  # self-loops never lie on shortest paths
+            nd = d + weights[slot]
+            if nd < dist[v] - 1e-14:
+                dist[v] = nd
+                sigma[v] = sigma[u]
+                preds[v] = [u]
+                heapq.heappush(heap, (nd, v))
+            elif abs(nd - dist[v]) <= 1e-14:
+                sigma[v] += sigma[u]
+                preds[v].append(u)
+    for w in reversed(order):
+        for p in preds[w]:
+            delta[p] += sigma[p] / sigma[w] * (1.0 + delta[w])
+        # (source excluded from its own centrality by construction)
+    delta[s] = 0.0
+    return delta
+
+
+def brandes_betweenness(g: CSRGraph, normalized: bool = False) -> np.ndarray:
+    """Exact betweenness centrality of every vertex."""
+    bc = np.zeros(g.n)
+    for s in range(g.n):
+        bc += betweenness_source_pass(g, s)
+    bc /= 2.0  # each unordered pair was counted from both endpoints
+    if normalized and g.n > 2:
+        bc *= 2.0 / ((g.n - 1) * (g.n - 2))
+    return bc
+
+
+def hetero_betweenness(g: CSRGraph, platform=None, normalized: bool = False):
+    """Betweenness with per-source work units on a heterogeneous platform.
+
+    Returns ``(bc, stage_report)``.  Default platform: CPU+GPU.
+    """
+    from .hetero.executor import HeterogeneousExecutor, Platform
+    from .hetero.workqueue import WorkUnit
+
+    if platform is None:
+        platform = Platform.heterogeneous()
+    ex = HeterogeneousExecutor(platform)
+    units = [
+        WorkUnit(
+            uid=s,
+            fn=(lambda s=s: betweenness_source_pass(g, s)),
+            work=float(max(g.m, 1)) * 48.0,
+            items=g.n,
+            label="brandes",
+        )
+        for s in range(g.n)
+    ]
+    report = ex.run_stage(units)
+    bc = np.zeros(g.n)
+    for s in range(g.n):
+        bc += ex.results[s]
+    bc /= 2.0
+    if normalized and g.n > 2:
+        bc *= 2.0 / ((g.n - 1) * (g.n - 2))
+    return bc, report

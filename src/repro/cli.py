@@ -1,0 +1,184 @@
+"""``repro-bench`` — regenerate the paper's tables and figures from the CLI.
+
+Examples
+--------
+::
+
+    repro-bench table1
+    repro-bench fig2 --scale 0.03
+    repro-bench table2 --datasets nopoly as-22july06
+    repro-bench all --scale 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import expected
+from .bench.harness import (
+    ear_speedup_by_impl,
+    run_fig2,
+    run_fig3,
+    run_fig5,
+    run_fig6,
+    run_phase_breakdown,
+    run_table1,
+    run_table2,
+)
+from .bench.metrics import geometric_mean
+from .bench.reporting import format_kv, format_table, ratio_note
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args) -> None:
+    rows = run_table1(scale=args.scale, names=args.datasets)
+    print(
+        format_table(
+            ["graph", "|V|", "|E|", "#BCC", "largest%", "removed%", "ours MB", "max MB"],
+            [
+                (
+                    r.name,
+                    r.n,
+                    r.m,
+                    r.n_bcc,
+                    r.largest_bcc_pct,
+                    r.nodes_removed_pct,
+                    r.ours_mb,
+                    r.max_mb,
+                )
+                for r in rows
+            ],
+            title="Table 1 — dataset structure and APSP memory model",
+        )
+    )
+
+
+def _cmd_fig2(args) -> None:
+    rows = run_fig2(scale=args.scale, names=args.datasets)
+    print(
+        format_table(
+            ["graph", "kind", "baseline", "t_ours(s)", "t_base(s)", "speedup", "removed%"],
+            [
+                (r.name, r.kind, r.baseline, r.t_ours, r.t_baseline, r.speedup, r.nodes_removed_pct)
+                for r in rows
+            ],
+            title="Figure 2 — APSP: Our Approach vs baselines",
+        )
+    )
+    gen = geometric_mean(r.speedup for r in rows if r.kind == "general")
+    pla = geometric_mean(r.speedup for r in rows if r.kind == "planar")
+    print()
+    print(ratio_note("avg speedup vs Banerjee (general)", expected.FIG2_AVG_SPEEDUP["vs_banerjee_general"], gen))
+    print(ratio_note("avg speedup vs Djidjev (planar)", expected.FIG2_AVG_SPEEDUP["vs_djidjev_planar"], pla))
+    if args.mteps:
+        print()
+        mrows = run_fig3(rows)
+        print(
+            format_table(
+                ["graph", "kind", "MTEPS ours", "MTEPS baseline"],
+                [(d["name"], d["kind"], d["mteps_ours"], d["mteps_baseline"]) for d in mrows],
+                title="Figure 3 — MTEPS",
+            )
+        )
+
+
+def _cmd_table2(args) -> None:
+    rows = run_table2(scale=args.scale, names=args.datasets)
+    body = []
+    for r in rows:
+        body.append(
+            (
+                r.name,
+                r.f,
+                *(x for p in ("sequential", "multicore", "gpu", "cpu+gpu") for x in r.seconds[p]),
+            )
+        )
+    print(
+        format_table(
+            ["graph", "f", "seq w", "seq w/o", "mc w", "mc w/o", "gpu w", "gpu w/o", "het w", "het w/o"],
+            body,
+            title="Table 2 — MCB virtual seconds (w = with ear decomposition)",
+        )
+    )
+    print()
+    sp = run_fig5(rows)
+    for name, val in sp.items():
+        print(ratio_note(f"Fig5 {name} speedup over sequential", expected.FIG5_AVG_SPEEDUP[name], val))
+    print()
+    for name, val in ear_speedup_by_impl(rows).items():
+        print(ratio_note(f"ear speedup on {name}", expected.EAR_SPEEDUP_BY_IMPL[name], val))
+    if args.fig6:
+        print()
+        print(
+            format_table(
+                ["graph", "sequential", "multicore", "gpu", "cpu+gpu"],
+                [(d["name"], d["sequential"], d["multicore"], d["gpu"], d["cpu+gpu"]) for d in run_fig6(rows)],
+                title="Figure 6 — absolute virtual seconds (with ear)",
+            )
+        )
+
+
+def _cmd_phases(args) -> None:
+    name = (args.datasets or ["cond_mat_2003"])[0]
+    frac = run_phase_breakdown(name, scale=args.scale)
+    print(format_kv(frac, title=f"MCB phase shares on {name} (model)"))
+    print()
+    for k, v in expected.PHASE_FRACTIONS.items():
+        print(ratio_note(f"{k} share", v, frac.get(k, 0.0)))
+
+
+def _cmd_datasets(args) -> None:
+    from . import datasets
+    from .graph.stats import table1_row
+
+    rows = []
+    for spec in datasets.TABLE1:
+        if args.datasets and spec.name not in args.datasets:
+            continue
+        g = spec.generate(args.scale)
+        st = table1_row(g, spec.name)
+        rows.append(
+            (spec.name, "planar" if spec.planar else "general", st.n, st.m,
+             st.n_bcc, st.nodes_removed_pct, spec.removed_pct)
+        )
+    print(
+        format_table(
+            ["dataset", "kind", "|V|", "|E|", "#BCC", "removed%", "paper removed%"],
+            rows,
+            title=f"Table-1 stand-ins (scale={args.scale or 'default'})",
+        )
+    )
+
+
+def _cmd_all(args) -> None:
+    for fn in (_cmd_table1, _cmd_fig2, _cmd_table2, _cmd_phases):
+        fn(args)
+        print("\n" + "=" * 72 + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the tables/figures of the ear-decomposition paper.",
+    )
+    parser.add_argument("command", choices=["table1", "fig2", "table2", "phases", "datasets", "all"])
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--datasets", nargs="*", default=None, help="restrict to named datasets")
+    parser.add_argument("--mteps", action="store_true", help="also print Figure 3 (fig2)")
+    parser.add_argument("--fig6", action="store_true", help="also print Figure 6 (table2)")
+    args = parser.parse_args(argv)
+    {
+        "table1": _cmd_table1,
+        "fig2": _cmd_fig2,
+        "table2": _cmd_table2,
+        "phases": _cmd_phases,
+        "datasets": _cmd_datasets,
+        "all": _cmd_all,
+    }[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""Block-cut tree (as used by Banerjee et al. [4] and Section 2.2).
+
+The block-cut tree of a graph ``G`` is the bipartite forest whose nodes are
+the biconnected components ("blocks") and the articulation points ("cuts"),
+with a block adjacent to every cut vertex it contains.  Any path between
+vertices in different blocks traverses exactly the cut vertices lying on the
+tree path between the two block nodes — which is what makes the
+``d(n1, n2) = d(n1, a1) + A[a1, a2] + d(a2, n2)`` post-processing formula of
+Stage 2 valid.
+
+LCA queries use binary lifting so oracle distance queries stay
+``O(log n)`` per pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .biconnected import BCCDecomposition
+
+__all__ = ["BlockCutTree"]
+
+
+class BlockCutTree:
+    """Block-cut forest with LCA support.
+
+    Node numbering: block nodes are ``0 .. n_blocks-1`` (matching component
+    ids of the :class:`BCCDecomposition`), cut nodes are
+    ``n_blocks + k`` for the ``k``-th articulation point in sorted order.
+    """
+
+    def __init__(self, g: CSRGraph, bcc: BCCDecomposition) -> None:
+        self.bcc = bcc
+        self.n_blocks = bcc.count
+        self.ap_ids = bcc.articulation_points
+        self.ap_index = {int(v): i for i, v in enumerate(self.ap_ids)}
+        n_nodes = self.n_blocks + len(self.ap_ids)
+        self.n_nodes = n_nodes
+
+        adj: list[list[int]] = [[] for _ in range(n_nodes)]
+        for cid in range(bcc.count):
+            for v in bcc.component_vertices[cid]:
+                k = self.ap_index.get(int(v))
+                if k is not None:
+                    cut = self.n_blocks + k
+                    adj[cid].append(cut)
+                    adj[cut].append(cid)
+        self.adj = adj
+
+        # For every non-articulation vertex, its unique block.
+        self._vertex_block = np.full(g.n, -1, dtype=np.int64)
+        for cid in range(bcc.count):
+            for v in bcc.component_vertices[cid]:
+                if not bcc.is_articulation[v]:
+                    self._vertex_block[v] = cid
+
+        # BFS forest + binary lifting tables.
+        self.parent = np.full(n_nodes, -1, dtype=np.int64)
+        self.depth = np.zeros(n_nodes, dtype=np.int64)
+        self.tree_id = np.full(n_nodes, -1, dtype=np.int64)
+        tid = 0
+        order: list[int] = []
+        for root in range(n_nodes):
+            if self.tree_id[root] != -1:
+                continue
+            self.tree_id[root] = tid
+            queue = [root]
+            while queue:
+                u = queue.pop()
+                order.append(u)
+                for w in adj[u]:
+                    if self.tree_id[w] == -1:
+                        self.tree_id[w] = tid
+                        self.parent[w] = u
+                        self.depth[w] = self.depth[u] + 1
+                        queue.append(w)
+            tid += 1
+        self.n_trees = tid
+
+        levels = max(1, int(np.ceil(np.log2(max(2, n_nodes)))))
+        up = np.full((levels, n_nodes), -1, dtype=np.int64)
+        up[0] = self.parent
+        for k in range(1, levels):
+            prev = up[k - 1]
+            mask = prev >= 0
+            up[k, mask] = prev[prev[mask]]
+        self._up = up
+
+    # ------------------------------------------------------------------ #
+
+    def node_for_vertex(self, v: int) -> int:
+        """Tree node representing graph vertex ``v``.
+
+        Articulation points map to their cut node; other vertices map to
+        their unique block node.  Raises for isolated vertices (they belong
+        to no block).
+        """
+        k = self.ap_index.get(int(v))
+        if k is not None:
+            return self.n_blocks + k
+        b = int(self._vertex_block[v])
+        if b < 0:
+            raise KeyError(f"vertex {v} is isolated — not in any block")
+        return b
+
+    def lca(self, a: int, b: int) -> int:
+        """Lowest common ancestor of tree nodes ``a`` and ``b``.
+
+        Returns ``-1`` when the nodes live in different trees of the forest.
+        """
+        if self.tree_id[a] != self.tree_id[b]:
+            return -1
+        da, db = int(self.depth[a]), int(self.depth[b])
+        if da < db:
+            a, b = b, a
+            da, db = db, da
+        diff = da - db
+        k = 0
+        while diff:
+            if diff & 1:
+                a = int(self._up[k, a])
+            diff >>= 1
+            k += 1
+        if a == b:
+            return a
+        for k in range(self._up.shape[0] - 1, -1, -1):
+            ua, ub = int(self._up[k, a]), int(self._up[k, b])
+            if ua != ub:
+                a, b = ua, ub
+        return int(self.parent[a])
+
+    def _first_cut_towards(self, start: int, anc: int, other: int) -> int:
+        """First cut node on the path ``start -> ... -> other`` via ``anc``."""
+        if start >= self.n_blocks:
+            return start  # start is itself a cut node
+        if start != anc:
+            return int(self.parent[start])  # parent of a block node is a cut
+        # start is the LCA block; the path descends towards `other`: the
+        # first step down is the child of `start` on the path, which is a
+        # cut node.  Find it by lifting `other` to depth(start)+1.
+        node = other
+        diff = int(self.depth[other]) - int(self.depth[start]) - 1
+        k = 0
+        while diff:
+            if diff & 1:
+                node = int(self._up[k, node])
+            diff >>= 1
+            k += 1
+        return node
+
+    def boundary_aps(self, u: int, v: int) -> tuple[int, int] | None:
+        """Articulation points bracketing every ``u``–``v`` path.
+
+        Returns ``(a1, a2)`` as *graph vertex ids*: ``a1`` is the cut vertex
+        through which every path leaves ``u``'s block, ``a2`` the one through
+        which it enters ``v``'s block.  Returns ``None`` when both vertices
+        share a block (no cut vertex is forced) and raises
+        :class:`ValueError` when they are in different connected components.
+        """
+        nu = self.node_for_vertex(u)
+        nv = self.node_for_vertex(v)
+        if nu == nv:
+            return None
+        anc = self.lca(nu, nv)
+        if anc < 0:
+            raise ValueError(f"vertices {u} and {v} are not connected")
+        # Adjacent block/cut nodes mean a shared block: cut vertex u or v
+        # itself lies in the other's block.
+        if self.parent[nu] == nv or self.parent[nv] == nu:
+            # One is a cut node contained in the other's block, or a block
+            # adjacent to the cut: both vertices are in one block.
+            if nu >= self.n_blocks or nv >= self.n_blocks:
+                return None
+        c1 = self._first_cut_towards(nu, anc, nv)
+        c2 = self._first_cut_towards(nv, anc, nu)
+        a1 = int(self.ap_ids[c1 - self.n_blocks])
+        a2 = int(self.ap_ids[c2 - self.n_blocks])
+        return a1, a2
+
+    def blocks_of_vertex(self, v: int) -> list[int]:
+        """All block ids containing graph vertex ``v``."""
+        k = self.ap_index.get(int(v))
+        if k is None:
+            b = int(self._vertex_block[v])
+            return [b] if b >= 0 else []
+        return [b for b in self.adj[self.n_blocks + k]]
+
+    def same_block(self, u: int, v: int) -> int | None:
+        """A block id containing both vertices, or ``None``."""
+        bu = set(self.blocks_of_vertex(u))
+        for b in self.blocks_of_vertex(v):
+            if b in bu:
+                return b
+        return None

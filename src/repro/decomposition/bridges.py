@@ -1,0 +1,91 @@
+"""Bridges and 2-edge-connected components.
+
+A graph has an ear decomposition iff it is 2-edge-connected [33] — this
+module provides that criterion directly: bridge edges (via the same
+low-link machinery as the biconnectivity pass) and the 2-edge-connected
+components obtained by deleting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["BridgeDecomposition", "find_bridges", "two_edge_connected_components", "is_two_edge_connected"]
+
+
+@dataclass
+class BridgeDecomposition:
+    """Bridges plus the 2-edge-connected component labelling."""
+
+    bridge_mask: np.ndarray       # bool per edge
+    component: np.ndarray         # 2ecc id per vertex
+    count: int
+
+    @property
+    def bridges(self) -> np.ndarray:
+        return np.nonzero(self.bridge_mask)[0]
+
+
+def find_bridges(g: CSRGraph) -> np.ndarray:
+    """Boolean mask of bridge edges (iterative low-link DFS).
+
+    Parallel edges and self-loops are never bridges.
+    """
+    n, m = g.n, g.m
+    indptr, indices, eids = g.indptr, g.indices, g.csr_eid
+    disc = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    bridge = np.zeros(m, dtype=bool)
+    timer = 0
+    for root in range(n):
+        if disc[root] != -1:
+            continue
+        disc[root] = low[root] = timer
+        timer += 1
+        stack: list[list[int]] = [[root, int(indptr[root]), -1]]
+        while stack:
+            frame = stack[-1]
+            u, ptr, parent_eid = frame
+            if ptr < indptr[u + 1]:
+                frame[1] = ptr + 1
+                v = int(indices[ptr])
+                eid = int(eids[ptr])
+                if v == u or eid == parent_eid:
+                    continue
+                if disc[v] == -1:
+                    disc[v] = low[v] = timer
+                    timer += 1
+                    stack.append([v, int(indptr[v]), eid])
+                elif disc[v] < low[u]:
+                    low[u] = disc[v]
+            else:
+                stack.pop()
+                if stack:
+                    p = stack[-1][0]
+                    if low[u] < low[p]:
+                        low[p] = low[u]
+                    if low[u] > disc[p]:
+                        bridge[parent_eid] = True
+    return bridge
+
+
+def two_edge_connected_components(g: CSRGraph) -> BridgeDecomposition:
+    """Label vertices by 2-edge-connected component (bridges removed)."""
+    bridge = find_bridges(g)
+    keep = np.nonzero(~bridge)[0]
+    residual = g.edge_subgraph(keep)
+    count, labels = residual.connected_components()
+    return BridgeDecomposition(bridge_mask=bridge, component=labels, count=count)
+
+
+def is_two_edge_connected(g: CSRGraph) -> bool:
+    """True iff connected with no bridges — i.e. an ear decomposition exists."""
+    if g.n <= 1:
+        return True
+    if not g.is_connected():
+        return False
+    return not find_bridges(g).any()

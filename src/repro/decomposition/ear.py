@@ -1,0 +1,159 @@
+"""Open ear decomposition via Schmidt's chain decomposition.
+
+An ear decomposition partitions the edges of a 2-edge-connected graph into
+a first cycle ``P0 ∪ P1`` and simple paths (ears) whose endpoints lie on
+earlier ears (Section 2.1.1).  We compute it with Schmidt's linear-time
+chain decomposition: DFS the graph, then for every back edge (taken in DFS
+order of its ancestor endpoint) walk tree edges from the descendant end
+upward until hitting an already-visited vertex.
+
+Properties (verified by the test-suite):
+
+* every chain after the first is an open ear iff the graph is biconnected;
+* the chains partition ``E`` iff the graph is 2-edge-connected;
+* interior vertices of an ear have all their other incident edges on
+  *later* ears, which is what justifies removing degree-2 vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph, GraphError
+
+__all__ = ["Ear", "EarDecomposition", "ear_decomposition"]
+
+
+@dataclass(frozen=True)
+class Ear:
+    """One ear: an ordered walk ``vertices[0] - ... - vertices[-1]``.
+
+    ``edges[i]`` joins ``vertices[i]`` and ``vertices[i+1]``.  A *closed*
+    ear has ``vertices[0] == vertices[-1]``.
+    """
+
+    vertices: np.ndarray
+    edges: np.ndarray
+
+    @property
+    def is_cycle(self) -> bool:
+        return bool(self.vertices[0] == self.vertices[-1])
+
+    def weight(self, g: CSRGraph) -> float:
+        return float(g.edge_w[self.edges].sum())
+
+    def __len__(self) -> int:
+        return int(self.edges.size)
+
+
+@dataclass
+class EarDecomposition:
+    """Ears in discovery order; ``ears[0]`` is the initial cycle."""
+
+    ears: list[Ear]
+    is_open: bool  # True when no ear after the first is a cycle (biconnected)
+
+    @property
+    def count(self) -> int:
+        return len(self.ears)
+
+    def edge_ear(self, m: int) -> np.ndarray:
+        """Array mapping each edge id to its ear index."""
+        out = np.full(m, -1, dtype=np.int64)
+        for i, ear in enumerate(self.ears):
+            out[ear.edges] = i
+        return out
+
+
+def ear_decomposition(g: CSRGraph, root: int = 0) -> EarDecomposition:
+    """Compute an (open, when biconnected) ear decomposition of ``g``.
+
+    Raises
+    ------
+    GraphError
+        If the graph is not connected or not 2-edge-connected (a bridge
+        leaves some edge on no chain), or is empty.  Self-loops are
+        rejected: they belong to no ear.
+    """
+    if g.m == 0 or g.n == 0:
+        raise GraphError("ear decomposition needs a non-empty graph")
+    if g.has_self_loops:
+        raise GraphError("ear decomposition is undefined on self-loops")
+    n = g.n
+    indptr, indices, eids = g.indptr, g.indices, g.csr_eid
+
+    disc = np.full(n, -1, dtype=np.int64)
+    parent_vertex = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    is_tree_edge = np.zeros(g.m, dtype=bool)
+    order: list[int] = []
+    # Back edges keyed by their *ancestor* endpoint, recorded in DFS order
+    # of the descendant so traversal order is deterministic.
+    back_edges: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+
+    disc[root] = 0
+    timer = 1
+    stack: list[list[int]] = [[root, int(indptr[root])]]
+    order.append(root)
+    while stack:
+        frame = stack[-1]
+        u, ptr = frame
+        if ptr < indptr[u + 1]:
+            frame[1] = ptr + 1
+            v = int(indices[ptr])
+            eid = int(eids[ptr])
+            if eid == parent_edge[u]:
+                continue
+            if disc[v] == -1:
+                disc[v] = timer
+                timer += 1
+                parent_vertex[v] = u
+                parent_edge[v] = eid
+                is_tree_edge[eid] = True
+                order.append(v)
+                stack.append([v, int(indptr[v])])
+            elif disc[v] < disc[u]:
+                # back edge from descendant u to ancestor v
+                back_edges[v].append((u, eid))
+        else:
+            stack.pop()
+
+    if timer != n:
+        raise GraphError("ear decomposition needs a connected graph")
+
+    visited = np.zeros(n, dtype=bool)
+    used_edge = np.zeros(g.m, dtype=bool)
+    ears: list[Ear] = []
+    is_open = True
+    for v in order:
+        for u, eid in back_edges[v]:
+            visited[v] = True
+            chain_v = [v, u]
+            chain_e = [eid]
+            used_edge[eid] = True
+            cur = u
+            while not visited[cur]:
+                visited[cur] = True
+                pe = int(parent_edge[cur])
+                chain_e.append(pe)
+                used_edge[pe] = True
+                cur = int(parent_vertex[cur])
+                chain_v.append(cur)
+            ear = Ear(
+                vertices=np.asarray(chain_v, dtype=np.int64),
+                edges=np.asarray(chain_e, dtype=np.int64),
+            )
+            if ears and ear.is_cycle:
+                is_open = False
+            ears.append(ear)
+
+    if not used_edge.all():
+        raise GraphError(
+            "graph is not 2-edge-connected: "
+            f"{int((~used_edge).sum())} bridge edge(s) lie on no ear"
+        )
+    if not ears[0].is_cycle:
+        raise GraphError("internal error: first chain must be a cycle")
+    return EarDecomposition(ears=ears, is_open=is_open)

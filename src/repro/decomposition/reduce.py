@@ -1,0 +1,303 @@
+"""Degree-2 chain contraction: the reduced graph ``G^r`` (Section 2.1.1).
+
+Given a graph (in practice one biconnected component) the reduction keeps
+every vertex of degree ≠ 2 (plus any vertices the caller pins, e.g.
+articulation points) and contracts each maximal chain of degree-2 vertices
+into a single weighted edge.  The result is in general a **multigraph**:
+two kept vertices joined by several chains yield parallel edges, and a
+chain that starts and ends at the same kept vertex yields a self-loop —
+both are required verbatim by the MCB reduction (Lemma 3.1: "the graph G^r
+may contain multiple edges and self-loops").
+
+Alongside the reduced graph we retain, for every removed vertex ``x``, the
+anchors ``left(x)``/``right(x)`` and its distances to them along the chain —
+exactly the tables consumed by the APSP post-processing formulas of
+Section 2.1.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph, GraphError
+
+__all__ = ["Chain", "ReducedGraph", "reduce_graph"]
+
+
+@dataclass(frozen=True)
+class Chain:
+    """One contracted degree-2 chain.
+
+    ``vertices`` runs from the left kept endpoint to the right kept endpoint
+    (inclusive) in original vertex ids; ``edges`` are the original edge ids
+    along it; ``prefix[i]`` is the distance from the left endpoint to
+    ``vertices[i]`` (so ``prefix[-1]`` is the chain weight).
+    """
+
+    vertices: np.ndarray
+    edges: np.ndarray
+    prefix: np.ndarray
+
+    @property
+    def left(self) -> int:
+        return int(self.vertices[0])
+
+    @property
+    def right(self) -> int:
+        return int(self.vertices[-1])
+
+    @property
+    def weight(self) -> float:
+        return float(self.prefix[-1])
+
+    @property
+    def interior(self) -> np.ndarray:
+        """Removed (interior) vertices of this chain."""
+        return self.vertices[1:-1]
+
+    def __len__(self) -> int:
+        return int(self.edges.size)
+
+
+@dataclass
+class ReducedGraph:
+    """Output of :func:`reduce_graph`.
+
+    Attributes
+    ----------
+    original:
+        The input graph ``G``.
+    graph:
+        The reduced multigraph ``G^r``; its vertex ``i`` is original vertex
+        ``kept_ids[i]``, and its edge ``e`` contracts ``chains[e]``.
+    kept_mask / kept_ids / reduced_id:
+        Vertex bookkeeping.  ``reduced_id[old] == -1`` for removed vertices.
+    chains:
+        One :class:`Chain` per reduced edge (same indexing).
+    chain_of / pos_in_chain / dist_left / dist_right:
+        Per *original* vertex: for removed vertices, the chain id, position
+        of the vertex inside ``chains[c].vertices``, and distances to the
+        chain's two anchors.  Entries for kept vertices are ``-1`` / 0.
+    """
+
+    original: CSRGraph
+    graph: CSRGraph
+    kept_mask: np.ndarray
+    kept_ids: np.ndarray
+    reduced_id: np.ndarray
+    chains: list[Chain]
+    chain_of: np.ndarray
+    pos_in_chain: np.ndarray
+    dist_left: np.ndarray
+    dist_right: np.ndarray
+    _simple_cache: CSRGraph | None = field(default=None, repr=False)
+
+    @property
+    def n_removed(self) -> int:
+        """Number of vertices contracted away."""
+        return int((~self.kept_mask).sum())
+
+    @property
+    def removal_fraction(self) -> float:
+        """Fraction of vertices removed (the Table 1 "Nodes Removed" knob)."""
+        return self.n_removed / self.original.n if self.original.n else 0.0
+
+    def left_anchor(self, x: int) -> int:
+        """``left(x)`` in original vertex ids (Section 2.1.1)."""
+        return self.chains[int(self.chain_of[x])].left
+
+    def right_anchor(self, x: int) -> int:
+        """``right(x)`` in original vertex ids."""
+        return self.chains[int(self.chain_of[x])].right
+
+    def simple_graph(self) -> CSRGraph:
+        """Simple view of ``G^r`` (min-weight parallel edge, loops dropped).
+
+        This is the graph the APSP processing phase runs Dijkstra on
+        ("we retain the edge with the shortest weight").  Cached.
+        """
+        if self._simple_cache is None:
+            self._simple_cache = self.graph.simplify()
+        return self._simple_cache
+
+    def expand_edge(self, reduced_eid: int) -> np.ndarray:
+        """Original edge ids contracted into reduced edge ``reduced_eid``."""
+        return self.chains[reduced_eid].edges
+
+    def expand_cycle(self, reduced_eids: np.ndarray | list[int]) -> np.ndarray:
+        """Map a cycle in ``G^r`` (reduced edge ids) to original edge ids.
+
+        Per Lemma 3.1 this substitution turns any cycle of ``MCB(G^r)``
+        into the corresponding cycle of ``MCB(G)`` with identical weight.
+        """
+        if len(reduced_eids) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([self.chains[int(e)].edges for e in reduced_eids])
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests and examples)."""
+        g, r = self.original, self.graph
+        if int(self.kept_mask.sum()) != r.n:
+            raise GraphError("kept count mismatch")
+        seen = np.zeros(g.m, dtype=bool)
+        for e, chain in enumerate(self.chains):
+            if seen[chain.edges].any():
+                raise GraphError("chains overlap on an original edge")
+            seen[chain.edges] = True
+            if not np.isclose(chain.weight, float(r.edge_w[e])):
+                raise GraphError("chain weight mismatch with reduced edge")
+            a = self.reduced_id[chain.left]
+            b = self.reduced_id[chain.right]
+            ru, rv = r.edge_endpoints(e)
+            if {int(a), int(b)} != {ru, rv}:
+                raise GraphError("chain endpoints mismatch with reduced edge")
+        if not seen.all():
+            raise GraphError("some original edge belongs to no chain")
+
+
+def reduce_graph(g: CSRGraph, keep: np.ndarray | None = None) -> ReducedGraph:
+    """Contract maximal degree-2 chains of ``g``.
+
+    Parameters
+    ----------
+    g:
+        Input graph.  Typically one biconnected component, but the routine
+        is defined for any graph.
+    keep:
+        Optional boolean mask of vertices that must survive.  It is always
+        *extended* with: vertices of degree ≠ 2, vertices carrying
+        self-loops, and — for any cycle consisting purely of degree-2
+        vertices — the smallest vertex id on the cycle (an anchor, so the
+        cycle becomes a self-loop in ``G^r``).
+    """
+    n = g.n
+    deg = g.degree
+    if keep is None:
+        keep = np.zeros(n, dtype=bool)
+    else:
+        keep = np.asarray(keep, dtype=bool).copy()
+        if keep.shape != (n,):
+            raise GraphError("keep mask must have one entry per vertex")
+    keep |= deg != 2
+    if g.m and g.has_self_loops:
+        loop_vertices = g.edge_u[g.edge_u == g.edge_v]
+        keep[loop_vertices] = True
+
+    # Promote one anchor per pure degree-2 cycle: walk unkept vertices.
+    keep = _promote_cycle_anchors(g, keep)
+
+    kept_ids = np.nonzero(keep)[0]
+    reduced_id = np.full(n, -1, dtype=np.int64)
+    reduced_id[kept_ids] = np.arange(kept_ids.size)
+
+    indptr, indices, eids = g.indptr, g.indices, g.csr_eid
+    edge_w = g.edge_w
+    edge_done = np.zeros(g.m, dtype=bool)
+
+    chains: list[Chain] = []
+    chain_of = np.full(n, -1, dtype=np.int64)
+    pos_in_chain = np.full(n, -1, dtype=np.int64)
+    dist_left = np.zeros(n, dtype=np.float64)
+    dist_right = np.zeros(n, dtype=np.float64)
+    r_us: list[int] = []
+    r_vs: list[int] = []
+    r_ws: list[float] = []
+
+    for u in kept_ids:
+        for slot in range(indptr[u], indptr[u + 1]):
+            eid = int(eids[slot])
+            if edge_done[eid]:
+                continue
+            v = int(indices[slot])
+            # Walk the chain u - v - ... until the next kept vertex.
+            chain_v = [int(u), v]
+            chain_e = [eid]
+            edge_done[eid] = True
+            prev_eid = eid
+            cur = v
+            while not keep[cur]:
+                s, e = indptr[cur], indptr[cur + 1]
+                # Degree-2 interior vertex: exactly two incident slots.
+                e0, e1 = int(eids[s]), int(eids[s + 1])
+                nxt_eid = e1 if e0 == prev_eid else e0
+                nxt_slot = s + (1 if e0 == prev_eid else 0)
+                cur = int(indices[nxt_slot])
+                chain_e.append(nxt_eid)
+                chain_v.append(cur)
+                edge_done[nxt_eid] = True
+                prev_eid = nxt_eid
+            verts = np.asarray(chain_v, dtype=np.int64)
+            edges_arr = np.asarray(chain_e, dtype=np.int64)
+            prefix = np.concatenate([[0.0], np.cumsum(edge_w[edges_arr])])
+            chain = Chain(vertices=verts, edges=edges_arr, prefix=prefix)
+            cid = len(chains)
+            chains.append(chain)
+            interior = verts[1:-1]
+            if interior.size:
+                chain_of[interior] = cid
+                pos_in_chain[interior] = np.arange(1, verts.size - 1)
+                dist_left[interior] = prefix[1:-1]
+                dist_right[interior] = prefix[-1] - prefix[1:-1]
+            r_us.append(int(reduced_id[verts[0]]))
+            r_vs.append(int(reduced_id[verts[-1]]))
+            r_ws.append(float(prefix[-1]))
+
+    reduced = CSRGraph(kept_ids.size, r_us, r_vs, r_ws)
+    out = ReducedGraph(
+        original=g,
+        graph=reduced,
+        kept_mask=keep,
+        kept_ids=kept_ids,
+        reduced_id=reduced_id,
+        chains=chains,
+        chain_of=chain_of,
+        pos_in_chain=pos_in_chain,
+        dist_left=dist_left,
+        dist_right=dist_right,
+    )
+    return out
+
+
+def _promote_cycle_anchors(g: CSRGraph, keep: np.ndarray) -> np.ndarray:
+    """Pin one vertex of every cycle made purely of degree-2 vertices.
+
+    Without an anchor such a cycle would have no kept endpoint for its
+    chain; with one, it contracts to a single self-loop.  (A biconnected
+    component that is a bare cycle hits this case, e.g. the grafted blocks
+    of the Table 1 stand-ins when the shared vertex is removed.)
+    """
+    indptr, indices, eids = g.indptr, g.indices, g.csr_eid
+    visited = keep.copy()
+    for start in range(g.n):
+        if visited[start] or g.degree[start] != 2:
+            continue
+        # Walk the degree-2 run containing `start`; if it closes on itself
+        # without meeting a kept vertex, it is a pure cycle.
+        run = [start]
+        visited[start] = True
+        prev_eid = -1
+        cur = start
+        closed = True
+        while True:
+            s = indptr[cur]
+            e0, e1 = int(eids[s]), int(eids[s + 1])
+            nxt_eid = e1 if e0 == prev_eid else e0
+            nxt_slot = s + (1 if e0 == prev_eid else 0)
+            nxt = int(indices[nxt_slot])
+            if nxt == start and nxt_eid != prev_eid:
+                break  # closed the cycle
+            if keep[nxt]:
+                closed = False
+                break
+            run.append(nxt)
+            visited[nxt] = True
+            prev_eid = nxt_eid
+            cur = nxt
+        if not closed:
+            # Walk the other direction is unnecessary: the run will be
+            # reached from its kept endpoint during chain contraction.
+            continue
+        keep[min(run)] = True
+    return keep

@@ -1,0 +1,281 @@
+"""Graph file formats.
+
+Supports the three formats relevant to the paper's data sources:
+
+* **Matrix Market** (``.mtx``) — the University of Florida Sparse Matrix
+  Collection distributes graphs this way.
+* **Edge list** — whitespace separated ``u v [w]`` lines, ``#`` comments.
+* **DIMACS shortest-path** (``.gr``) — the classic challenge format.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from .csr import CSRGraph, GraphError
+
+__all__ = [
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_edge_list",
+    "write_edge_list",
+    "read_dimacs",
+    "write_dimacs",
+    "read_metis",
+    "write_metis",
+    "save_npz",
+    "load_npz",
+]
+
+
+def _open(path_or_file: str | Path | TextIO, mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def read_matrix_market(path_or_file: str | Path | TextIO) -> CSRGraph:
+    """Read a symmetric/general MatrixMarket coordinate file as a graph.
+
+    Only the lower-or-upper triangle is used for symmetric files; for
+    ``general`` files, both ``(i, j)`` and ``(j, i)`` entries are expected
+    and deduplicated.  Pattern matrices get unit weights.  Entries on the
+    diagonal become self-loops.
+    """
+    fh, close = _open(path_or_file, "r")
+    try:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphError("not a MatrixMarket file")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens:
+            raise GraphError("only coordinate MatrixMarket files are supported")
+        pattern = "pattern" in tokens
+        symmetric = "symmetric" in tokens
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        rows, cols, nnz = (int(t) for t in line.split())
+        if rows != cols:
+            raise GraphError("adjacency MatrixMarket file must be square")
+        us = np.empty(nnz, dtype=np.int64)
+        vs = np.empty(nnz, dtype=np.int64)
+        ws = np.ones(nnz, dtype=np.float64)
+        k = 0
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            us[k] = int(parts[0]) - 1
+            vs[k] = int(parts[1]) - 1
+            if not pattern and len(parts) > 2:
+                ws[k] = abs(float(parts[2]))
+            k += 1
+        us, vs, ws = us[:k], vs[:k], ws[:k]
+    finally:
+        if close:
+            fh.close()
+    lo = np.minimum(us, vs)
+    hi = np.maximum(us, vs)
+    keys = lo * rows + hi
+    _, first = np.unique(keys, return_index=True)
+    if not symmetric:
+        lo, hi, ws = lo[first], hi[first], ws[first]
+    else:
+        lo, hi, ws = lo, hi, ws
+    ws = np.where(ws <= 0, 1.0, ws)
+    return CSRGraph(rows, lo, hi, ws)
+
+
+def write_matrix_market(g: CSRGraph, path_or_file: str | Path | TextIO) -> None:
+    """Write as a symmetric real coordinate MatrixMarket file."""
+    fh, close = _open(path_or_file, "w")
+    try:
+        fh.write("%%MatrixMarket matrix coordinate real symmetric\n")
+        fh.write(f"% written by repro\n{g.n} {g.n} {g.m}\n")
+        lo = np.minimum(g.edge_u, g.edge_v)
+        hi = np.maximum(g.edge_u, g.edge_v)
+        for a, b, w in zip(hi, lo, g.edge_w):
+            fh.write(f"{a + 1} {b + 1} {w:.17g}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def read_edge_list(path_or_file: str | Path | TextIO, n: int | None = None) -> CSRGraph:
+    """Read ``u v [w]`` lines; vertex count inferred when ``n`` is None."""
+    fh, close = _open(path_or_file, "r")
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[float] = []
+    try:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+            ws.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    finally:
+        if close:
+            fh.close()
+    if n is None:
+        n = (max(max(us), max(vs)) + 1) if us else 0
+    return CSRGraph(n, us, vs, ws)
+
+
+def write_edge_list(g: CSRGraph, path_or_file: str | Path | TextIO) -> None:
+    """Write ``u v w`` lines with a vertex-count header comment."""
+    fh, close = _open(path_or_file, "w")
+    try:
+        fh.write(f"# nodes={g.n} edges={g.m}\n")
+        for u, v, w in g.edges():
+            fh.write(f"{u} {v} {w:.17g}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def read_dimacs(path_or_file: str | Path | TextIO) -> CSRGraph:
+    """Read the DIMACS ``.gr`` shortest-path format (arcs deduplicated)."""
+    fh, close = _open(path_or_file, "r")
+    n = 0
+    seen: dict[tuple[int, int], float] = {}
+    try:
+        for line in fh:
+            if line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                n = int(parts[2])
+            elif line.startswith("a"):
+                _, u, v, w = line.split()
+                a, b = int(u) - 1, int(v) - 1
+                key = (min(a, b), max(a, b))
+                wt = float(w)
+                if key not in seen or wt < seen[key]:
+                    seen[key] = wt
+    finally:
+        if close:
+            fh.close()
+    us = [k[0] for k in seen]
+    vs = [k[1] for k in seen]
+    ws = list(seen.values())
+    return CSRGraph(n, us, vs, ws)
+
+
+def write_dimacs(g: CSRGraph, path_or_file: str | Path | TextIO, comment: str = "") -> None:
+    """Write the DIMACS ``.gr`` format (both arc directions emitted)."""
+    fh, close = _open(path_or_file, "w")
+    try:
+        if comment:
+            fh.write(f"c {comment}\n")
+        fh.write(f"p sp {g.n} {2 * g.m}\n")
+        for u, v, w in g.edges():
+            fh.write(f"a {u + 1} {v + 1} {w:.17g}\n")
+            fh.write(f"a {v + 1} {u + 1} {w:.17g}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def loads_edge_list(text: str) -> CSRGraph:
+    """Parse an edge list from a string (convenience for tests/examples)."""
+    return read_edge_list(_io.StringIO(text))
+
+
+def read_metis(path_or_file: str | Path | TextIO) -> CSRGraph:
+    """Read the METIS ``.graph`` format (1-indexed adjacency lists).
+
+    Supports the plain format and ``fmt=001`` (edge weights).  Vertex
+    weights (``fmt=010``/``011``) are skipped.  Each edge must appear in
+    both endpoint lists, as the format requires.
+    """
+    fh, close = _open(path_or_file, "r")
+    try:
+        header = fh.readline().split()
+        if len(header) < 2:
+            raise GraphError("malformed METIS header")
+        n, m = int(header[0]), int(header[1])
+        fmt = header[2] if len(header) > 2 else "000"
+        fmt = fmt.zfill(3)
+        has_vw = fmt[1] == "1"
+        has_ew = fmt[2] == "1"
+        ncon = int(header[3]) if len(header) > 3 else (1 if has_vw else 0)
+        seen: dict[tuple[int, int], float] = {}
+        u = 0
+        for line in fh:
+            line = line.strip()
+            if line.startswith("%"):
+                continue
+            tokens = line.split()
+            idx = ncon if has_vw else 0
+            while idx < len(tokens):
+                v = int(tokens[idx]) - 1
+                idx += 1
+                w = 1.0
+                if has_ew:
+                    w = float(tokens[idx])
+                    idx += 1
+                key = (min(u, v), max(u, v))
+                if key not in seen or w < seen[key]:
+                    seen[key] = w
+            u += 1
+        if u != n:
+            raise GraphError(f"METIS file declared {n} vertices, found {u}")
+        if len(seen) != m:
+            raise GraphError(
+                f"METIS file declared {m} edges, found {len(seen)}"
+            )
+    finally:
+        if close:
+            fh.close()
+    us = [k[0] for k in seen]
+    vs = [k[1] for k in seen]
+    return CSRGraph(n, us, vs, list(seen.values()))
+
+
+def write_metis(g: CSRGraph, path_or_file: str | Path | TextIO) -> None:
+    """Write the METIS ``.graph`` format with edge weights (``fmt=001``).
+
+    METIS cannot represent self-loops or parallel edges; the graph is
+    simplified first (minimum-weight parallel edge kept, loops dropped).
+    """
+    s = g.simplify()
+    fh, close = _open(path_or_file, "w")
+    try:
+        fh.write(f"{s.n} {s.m} 001\n")
+        for u in range(s.n):
+            nbrs, wts, _ = s.incident(u)
+            parts = []
+            for v, w in zip(nbrs, wts):
+                parts.append(f"{int(v) + 1} {w:.17g}")
+            fh.write(" ".join(parts) + "\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def save_npz(g: CSRGraph, path: str | Path) -> None:
+    """Binary persistence: canonical edge arrays in one ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        n=np.asarray(g.n, dtype=np.int64),
+        edge_u=g.edge_u,
+        edge_v=g.edge_v,
+        edge_w=g.edge_w,
+    )
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a graph written by :func:`save_npz`."""
+    with np.load(path) as data:
+        return CSRGraph(
+            int(data["n"]), data["edge_u"], data["edge_v"], data["edge_w"]
+        )

@@ -1,0 +1,53 @@
+"""Simulated heterogeneous (CPU + GPU) execution platform.
+
+Real work, modeled clocks: devices execute work units for real while
+charging bandwidth-model costs to per-device virtual clocks; the
+double-ended work queue of [19] arbitrates.  See DESIGN.md §2.
+"""
+
+from .apsp_runner import HeteroAPSPResult, apsp_with_trace, run_apsp_on_platforms
+from .device import (
+    CPU_CORE_BW,
+    CPU_SOCKET_BW,
+    Device,
+    GPU_EFFECTIVE_BW,
+    cpu_device,
+    sequential_device,
+)
+from .executor import HeterogeneousExecutor, Platform, StageReport
+from .live_runner import LiveMCBResult, live_hetero_mcb
+from .mcb_runner import HeteroMCBResult, mcb_with_trace, run_mcb_on_platforms
+from .simt import SIMTDevice, gpu_device
+from .timing import ClockSample, VirtualClock
+from .trace import SimulationResult, Stage, WorkTrace, simulate_trace
+from .workqueue import DequeWorkQueue, WorkUnit
+
+__all__ = [
+    "HeteroAPSPResult",
+    "apsp_with_trace",
+    "run_apsp_on_platforms",
+    "CPU_CORE_BW",
+    "CPU_SOCKET_BW",
+    "Device",
+    "GPU_EFFECTIVE_BW",
+    "cpu_device",
+    "sequential_device",
+    "HeterogeneousExecutor",
+    "Platform",
+    "StageReport",
+    "HeteroMCBResult",
+    "LiveMCBResult",
+    "live_hetero_mcb",
+    "mcb_with_trace",
+    "run_mcb_on_platforms",
+    "SIMTDevice",
+    "gpu_device",
+    "ClockSample",
+    "VirtualClock",
+    "SimulationResult",
+    "Stage",
+    "WorkTrace",
+    "simulate_trace",
+    "DequeWorkQueue",
+    "WorkUnit",
+]

@@ -1,0 +1,116 @@
+"""Device models for the simulated heterogeneous platform.
+
+Graph kernels (SSSP frontiers, label propagation, witness xors) are
+memory-bandwidth bound, so the first-principles cost model is bytes moved
+over sustained bandwidth plus fixed per-dispatch overhead:
+
+``t(batch) = overhead + Σ work_bytes / effective_bandwidth``
+
+with the effective bandwidth of a multicore CPU capped by the socket
+bandwidth (this cap — not core count — is why the paper's 20-core runs
+only reach ≈3× over sequential) and the GPU's discounted for irregular,
+uncoalesced access.  The default constants model the paper's platform
+(dual E5-2650 + Tesla K40c); docstrings give the derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .timing import VirtualClock
+from .workqueue import WorkUnit
+
+__all__ = ["Device", "CPUDevice", "cpu_device", "sequential_device"]
+
+
+@dataclass
+class Device:
+    """A compute device with a bandwidth cost model and a virtual clock.
+
+    Parameters
+    ----------
+    name:
+        Display name ("cpu", "gpu", ...).
+    effective_bandwidth:
+        Sustained bytes/second the device moves on irregular graph
+        kernels.
+    dispatch_overhead:
+        Seconds charged per batch handed to the device (thread wake-up /
+        kernel launch).
+    batch_size:
+        Work units taken from the queue per grab — "in proportion to the
+        number of threads supported" ([19]).
+    takes_from_back:
+        True for the GPU end of the double-ended queue (it starts with
+        the *biggest* units).
+    """
+
+    name: str
+    effective_bandwidth: float
+    dispatch_overhead: float = 0.0
+    batch_size: int = 1
+    takes_from_back: bool = False
+    clock: VirtualClock = field(default_factory=VirtualClock)
+
+    def cost(self, units: list[WorkUnit]) -> float:
+        """Modeled seconds to execute ``units`` as one batch."""
+        work = sum(u.work for u in units)
+        return self.dispatch_overhead + work / self.effective_bandwidth
+
+    def execute(self, units: list[WorkUnit]) -> list:
+        """Run the batch for real, charge the modeled cost. Returns results."""
+        results = [u.run() for u in units]
+        self.clock.advance(self.cost(units), label=units[0].label if units else "")
+        return results
+
+
+# --------------------------------------------------------------------- #
+# The paper's platform (Section 2.4.1), derived constants
+# --------------------------------------------------------------------- #
+
+#: Sustained single-core bandwidth of a Sandy-Bridge-class Xeon on
+#: irregular (pointer-chasing) graph kernels, bytes/s.
+CPU_CORE_BW = 14e9
+
+#: The dual-socket E5-2650 machine's aggregate memory bandwidth (68 GB/s
+#: per the paper) derated by a 0.65 parallel-efficiency factor for
+#: synchronisation and NUMA imbalance — yielding the ≈3.1× multicore
+#: scaling the paper measures.
+CPU_SOCKET_BW = 68e9 * 0.65
+
+#: Tesla K40c: 288 GB/s GDDR5 derated to 50% for uncoalesced graph
+#: access — ≈10× a single CPU core, matching the paper's ≈9× GPU speedup
+#: once kernel-launch overhead is charged.
+GPU_EFFECTIVE_BW = 288e9 * 0.5
+
+#: CUDA kernel launch + transfer setup per dispatched batch.
+GPU_LAUNCH_OVERHEAD = 3e-6
+
+#: OpenMP parallel-for fork/join cost per batch.
+CPU_DISPATCH_OVERHEAD = 2e-6
+
+
+def sequential_device() -> Device:
+    """One CPU core — the Table 2 "Sequential" implementation."""
+    return Device(
+        name="sequential",
+        effective_bandwidth=CPU_CORE_BW,
+        dispatch_overhead=0.0,
+        batch_size=1,
+    )
+
+
+def cpu_device(n_threads: int = 40) -> Device:
+    """The 20-core / 40-thread multicore CPU (bandwidth-capped scaling)."""
+    bw = min(n_threads * CPU_CORE_BW * 0.65, CPU_SOCKET_BW)
+    return Device(
+        name="cpu",
+        effective_bandwidth=bw,
+        dispatch_overhead=CPU_DISPATCH_OVERHEAD,
+        batch_size=max(1, n_threads // 8),
+        takes_from_back=False,
+    )
+
+
+class CPUDevice(Device):
+    """Alias kept for readability in user code."""

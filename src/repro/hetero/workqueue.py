@@ -1,0 +1,71 @@
+"""The double-ended work queue of Indarapu et al. [19].
+
+Sections 2.3 and 3.4: work units are sorted by size and placed in a
+double-ended queue; the GPU grabs batches from the big end, the CPU from
+the small end, each in proportion to its thread count, until the queue
+drains.  This dynamic scheme replaces any static CPU/GPU split — "arriving
+at this proportion analytically is not easy".
+
+The queue itself is execution-agnostic; the event-driven simulation that
+drives devices against it lives in :mod:`repro.hetero.executor`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["WorkUnit", "DequeWorkQueue"]
+
+
+@dataclass
+class WorkUnit:
+    """One schedulable unit.
+
+    ``work`` is the cost-model size (bytes touched); ``items`` the
+    parallel width (for GPU occupancy); ``fn`` produces the real result.
+    """
+
+    uid: int
+    fn: Callable[[], Any]
+    work: float
+    items: int = 1
+    label: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def run(self) -> Any:
+        return self.fn()
+
+
+class DequeWorkQueue:
+    """Size-sorted double-ended queue with two-sided batch grabs."""
+
+    def __init__(self, units: list[WorkUnit], sort: bool = True) -> None:
+        ordered = sorted(units, key=lambda u: u.work) if sort else list(units)
+        # Ascending order: front = smallest (CPU side), back = biggest (GPU).
+        self._q: deque[WorkUnit] = deque(ordered)
+        self.total_work = float(sum(u.work for u in units))
+        self.grabs_front = 0
+        self.grabs_back = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def empty(self) -> bool:
+        return not self._q
+
+    def grab(self, batch_size: int, from_back: bool) -> list[WorkUnit]:
+        """Atomically take up to ``batch_size`` units from one end."""
+        out: list[WorkUnit] = []
+        for _ in range(max(1, batch_size)):
+            if not self._q:
+                break
+            out.append(self._q.pop() if from_back else self._q.popleft())
+        if out:
+            if from_back:
+                self.grabs_back += 1
+            else:
+                self.grabs_front += 1
+        return out

@@ -1,0 +1,85 @@
+"""Cycle representation shared by all MCB algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["Cycle"]
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """A GF(2) cycle-space element of a graph.
+
+    ``edge_ids`` is the *support*: each edge appears exactly once (closed
+    walks found by the signed-graph search are reduced mod 2 before being
+    stored).  ``weight`` is the walk weight the algorithm accounted for —
+    equal to the support weight for simple cycles.
+    """
+
+    edge_ids: np.ndarray
+    weight: float
+    meta: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @staticmethod
+    def from_multiset(g: CSRGraph, edge_ids: np.ndarray, weight: float | None = None, **meta) -> "Cycle":
+        """Reduce an edge multiset mod 2 and build a cycle.
+
+        With ``weight=None`` the support weight is used.
+        """
+        eids = np.asarray(edge_ids, dtype=np.int64)
+        uniq, counts = np.unique(eids, return_counts=True)
+        support = uniq[counts % 2 == 1]
+        w = float(g.edge_w[support].sum()) if weight is None else float(weight)
+        return Cycle(edge_ids=support, weight=w, meta=dict(meta))
+
+    def support_weight(self, g: CSRGraph) -> float:
+        """Total weight of the support edges."""
+        return float(g.edge_w[self.edge_ids].sum())
+
+    def is_valid_cycle(self, g: CSRGraph) -> bool:
+        """Every vertex of the support has even degree (self-loops add 2)."""
+        if self.edge_ids.size == 0:
+            return False
+        deg = np.zeros(g.n, dtype=np.int64)
+        np.add.at(deg, g.edge_u[self.edge_ids], 1)
+        np.add.at(deg, g.edge_v[self.edge_ids], 1)
+        return bool(np.all(deg % 2 == 0))
+
+    def vertex_sequence(self, g: CSRGraph) -> list[int]:
+        """Walk the support as a closed vertex sequence.
+
+        Only defined for connected, simple cycles (every support vertex of
+        degree exactly 2, or a single self-loop); raises otherwise.
+        """
+        eids = self.edge_ids
+        if eids.size == 1 and g.edge_u[eids[0]] == g.edge_v[eids[0]]:
+            return [int(g.edge_u[eids[0]])]
+        adj: dict[int, list[tuple[int, int]]] = {}
+        for e in eids:
+            u, v = g.edge_endpoints(int(e))
+            adj.setdefault(u, []).append((v, int(e)))
+            adj.setdefault(v, []).append((u, int(e)))
+        if any(len(x) != 2 for x in adj.values()):
+            raise ValueError("support is not a single simple cycle")
+        start = int(g.edge_u[eids[0]])
+        seq = [start]
+        prev_edge = -1
+        cur = start
+        for _ in range(eids.size):
+            nxt, e = next(
+                (w, e) for w, e in adj[cur] if e != prev_edge
+            )
+            seq.append(nxt)
+            prev_edge = e
+            cur = nxt
+        if seq[-1] != start:
+            raise ValueError("support does not close into one cycle")
+        return seq[:-1]
+
+    def __len__(self) -> int:
+        return int(self.edge_ids.size)

@@ -1,0 +1,131 @@
+"""Packed GF(2) linear algebra.
+
+Witness vectors and cycle incidence vectors live in ``{0,1}^f`` over the
+non-tree edge set ``E'`` (Section 3.2).  We pack 64 coordinates per
+``uint64`` word so that the inner products of Step 5 and the symmetric
+differences of Step 6 of Algorithm 2 are single fused numpy passes —
+the same bit-parallel trick the paper's CUDA witness kernels use with
+warp-wide ballots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "n_words",
+    "pack",
+    "unpack",
+    "zeros",
+    "unit",
+    "dot",
+    "dot_many",
+    "xor_inplace",
+    "get_bit",
+    "set_bit",
+    "rank",
+    "is_independent",
+]
+
+
+def n_words(f: int) -> int:
+    """Number of 64-bit words needed for ``f`` coordinates."""
+    return max(1, (f + 63) // 64)
+
+
+def zeros(f: int) -> np.ndarray:
+    """The zero vector of dimension ``f`` (packed)."""
+    return np.zeros(n_words(f), dtype=np.uint64)
+
+
+def unit(f: int, i: int) -> np.ndarray:
+    """Standard basis vector ``e_i`` (the initial witness S_i of Step 1)."""
+    v = zeros(f)
+    v[i >> 6] = np.uint64(1) << np.uint64(i & 63)
+    return v
+
+
+def pack(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean/0-1 array into uint64 words (little-endian bits)."""
+    bits = np.asarray(bits, dtype=bool)
+    f = bits.size
+    words = n_words(f)
+    padded = np.zeros(words * 64, dtype=bool)
+    padded[:f] = bits
+    # Little-endian within each 8-byte group: view through uint8.
+    by = np.packbits(padded.reshape(-1, 8)[:, ::-1], axis=1).ravel()
+    return by.view(np.uint64) if by.size % 8 == 0 else np.frombuffer(
+        by.tobytes().ljust(words * 8, b"\0"), dtype=np.uint64
+    ).copy()
+
+
+def unpack(v: np.ndarray, f: int) -> np.ndarray:
+    """Inverse of :func:`pack`: boolean array of length ``f``."""
+    by = v.view(np.uint8)
+    bits = np.unpackbits(by.reshape(-1, 1), axis=1)[:, ::-1].ravel()
+    return bits[:f].astype(bool)
+
+
+def get_bit(v: np.ndarray, i: int) -> int:
+    """Coordinate ``i`` of a packed vector."""
+    return int((v[i >> 6] >> np.uint64(i & 63)) & np.uint64(1))
+
+
+def set_bit(v: np.ndarray, i: int, value: int = 1) -> None:
+    """Set coordinate ``i`` in place."""
+    mask = np.uint64(1) << np.uint64(i & 63)
+    if value:
+        v[i >> 6] |= mask
+    else:
+        v[i >> 6] &= ~mask
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> int:
+    """GF(2) inner product ``⟨a, b⟩`` (parity of the AND popcount)."""
+    return int(np.bitwise_count(a & b).sum() & 1)
+
+
+def dot_many(mat: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """``⟨row_j, v⟩`` for every row of a packed ``(k, words)`` matrix.
+
+    This is the vectorised independence test of Steps 4–5: one AND, one
+    popcount, one reduction for *all* remaining witnesses at once.
+    """
+    if mat.size == 0:
+        return np.zeros(mat.shape[0], dtype=np.uint8)
+    return (np.bitwise_count(mat & v[None, :]).sum(axis=1) & 1).astype(np.uint8)
+
+
+def xor_inplace(target: np.ndarray, source: np.ndarray) -> None:
+    """``target ^= source`` (Step 6's symmetric difference)."""
+    np.bitwise_xor(target, source, out=target)
+
+
+def rank(rows: np.ndarray) -> int:
+    """GF(2) rank of a packed ``(k, words)`` matrix by Gaussian elimination."""
+    if rows.size == 0:
+        return 0
+    work = rows.copy()
+    r = 0
+    k, words = work.shape
+    for col in range(words * 64):
+        word, bit = col >> 6, np.uint64(col & 63)
+        mask = (work[r:, word] >> bit) & np.uint64(1)
+        hits = np.nonzero(mask)[0]
+        if hits.size == 0:
+            continue
+        pivot = r + int(hits[0])
+        work[[r, pivot]] = work[[pivot, r]]
+        below = (work[r + 1 :, word] >> bit) & np.uint64(1)
+        sel = np.nonzero(below)[0]
+        if sel.size:
+            work[r + 1 + sel] ^= work[r]
+        r += 1
+        if r == k:
+            break
+    return r
+
+
+def is_independent(rows: np.ndarray) -> bool:
+    """True when the packed rows are linearly independent over GF(2)."""
+    return rank(rows) == rows.shape[0]

@@ -1,0 +1,134 @@
+"""Spanning forest, non-tree edge indexing, and fundamental cycles.
+
+The de Pina framework represents every cycle as its incidence vector
+restricted to the non-tree edges ``E' = E \\ T`` of an arbitrary spanning
+forest ``T`` (Section 3.2): this is a faithful coordinate system because
+the fundamental cycles form a basis and each contains exactly one edge of
+``E'``.  This module fixes that coordinate system for one graph, and maps
+arbitrary edge multisets to packed GF(2) vectors in it.
+
+Works on multigraphs: parallel edges beyond the first and all self-loops
+are automatically non-tree (required by the reduced graphs of Lemma 3.1:
+"multiple edges and self-loops appear as nontree edges").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from . import gf2
+
+__all__ = ["SpanningStructure", "spanning_structure"]
+
+
+@dataclass
+class SpanningStructure:
+    """A spanning forest of ``g`` and the induced E' coordinate system."""
+
+    graph: CSRGraph
+    tree_mask: np.ndarray      # bool per edge: in the forest
+    parent: np.ndarray         # parent vertex in the rooted forest (-1 root)
+    parent_edge: np.ndarray    # edge id to parent (-1 at roots)
+    depth: np.ndarray          # depth in the rooted forest
+    eprime_index: np.ndarray   # per edge: index in E' or -1 for tree edges
+    eprime_edges: np.ndarray   # E' edge ids in index order
+
+    @property
+    def f(self) -> int:
+        """Cycle space dimension ``|E'| = m - n + c``."""
+        return int(self.eprime_edges.size)
+
+    # ------------------------------------------------------------------ #
+
+    def restricted_vector(self, edge_ids: np.ndarray) -> np.ndarray:
+        """Packed GF(2) vector of an edge multiset, restricted to E'.
+
+        Edges appearing an even number of times cancel.
+        """
+        bits = np.zeros(self.f, dtype=np.int64)
+        eids = np.asarray(edge_ids, dtype=np.int64)
+        idx = self.eprime_index[eids]
+        sel = idx[idx >= 0]
+        if sel.size:
+            np.add.at(bits, sel, 1)
+        return gf2.pack(bits & 1)
+
+    def tree_path_edges(self, u: int, v: int) -> list[int]:
+        """Edge ids of the forest path between ``u`` and ``v``.
+
+        Raises when the vertices are in different trees.
+        """
+        pu: list[int] = []
+        pv: list[int] = []
+        a, b = int(u), int(v)
+        while self.depth[a] > self.depth[b]:
+            pu.append(int(self.parent_edge[a]))
+            a = int(self.parent[a])
+        while self.depth[b] > self.depth[a]:
+            pv.append(int(self.parent_edge[b]))
+            b = int(self.parent[b])
+        while a != b:
+            if self.parent[a] == -1 or self.parent[b] == -1:
+                raise ValueError(f"vertices {u} and {v} are in different trees")
+            pu.append(int(self.parent_edge[a]))
+            pv.append(int(self.parent_edge[b]))
+            a = int(self.parent[a])
+            b = int(self.parent[b])
+        return pu + pv[::-1]
+
+    def fundamental_cycle(self, eprime_i: int) -> np.ndarray:
+        """Edge ids of the fundamental cycle of the ``i``-th non-tree edge.
+
+        A self-loop's fundamental cycle is just the loop itself.
+        """
+        eid = int(self.eprime_edges[eprime_i])
+        u, v = self.graph.edge_endpoints(eid)
+        if u == v:
+            return np.asarray([eid], dtype=np.int64)
+        return np.asarray([eid] + self.tree_path_edges(u, v), dtype=np.int64)
+
+
+def spanning_structure(g: CSRGraph) -> SpanningStructure:
+    """Build a BFS spanning forest and the E' coordinate system."""
+    n = g.n
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    depth = np.zeros(n, dtype=np.int64)
+    tree_mask = np.zeros(g.m, dtype=bool)
+    visited = np.zeros(n, dtype=bool)
+    indptr, indices, eids = g.indptr, g.indices, g.csr_eid
+    for root in range(n):
+        if visited[root]:
+            continue
+        visited[root] = True
+        queue = [root]
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            for slot in range(indptr[u], indptr[u + 1]):
+                v = int(indices[slot])
+                if visited[v]:
+                    continue
+                e = int(eids[slot])
+                visited[v] = True
+                parent[v] = u
+                parent_edge[v] = e
+                depth[v] = depth[u] + 1
+                tree_mask[e] = True
+                queue.append(v)
+    eprime_edges = np.nonzero(~tree_mask)[0]
+    eprime_index = np.full(g.m, -1, dtype=np.int64)
+    eprime_index[eprime_edges] = np.arange(eprime_edges.size)
+    return SpanningStructure(
+        graph=g,
+        tree_mask=tree_mask,
+        parent=parent,
+        parent_edge=parent_edge,
+        depth=depth,
+        eprime_index=eprime_index,
+        eprime_edges=eprime_edges,
+    )

@@ -1,0 +1,5 @@
+"""Multilevel graph partitioning (METIS substitute for the Djidjev baseline)."""
+
+from .metis_lite import Partition, partition_graph
+
+__all__ = ["Partition", "partition_graph"]

@@ -1,0 +1,25 @@
+"""Single-source shortest path kernels (CPU reference, GPU-style, bulk)."""
+
+from .bellman_ford import bellman_ford
+from .bidirectional import bidirectional_dijkstra
+from .delta_stepping import delta_stepping
+from .dijkstra import dijkstra, dijkstra_tree, shortest_path
+from .engine import adjacency_matrix, all_pairs, multi_source, spt_forest, sssp
+from .frontier import FrontierStats, frontier_sssp, frontier_sssp_batch
+
+__all__ = [
+    "bellman_ford",
+    "bidirectional_dijkstra",
+    "delta_stepping",
+    "dijkstra",
+    "dijkstra_tree",
+    "shortest_path",
+    "adjacency_matrix",
+    "all_pairs",
+    "multi_source",
+    "spt_forest",
+    "sssp",
+    "FrontierStats",
+    "frontier_sssp",
+    "frontier_sssp_batch",
+]

@@ -1,0 +1,72 @@
+"""Bidirectional Dijkstra for point-to-point queries.
+
+A classic complement to the oracle machinery: when only a handful of
+``s → t`` queries is needed and no preprocessing is worthwhile, meeting
+two search frontiers in the middle typically settles far fewer vertices
+than a full one-sided run.  Exactness holds for non-negative weights with
+the standard ``top(F) + top(B) ≥ μ`` stopping rule.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["bidirectional_dijkstra"]
+
+
+def bidirectional_dijkstra(
+    g: CSRGraph, source: int, target: int
+) -> tuple[float, list[int]]:
+    """``(distance, vertex path)``; ``(inf, [])`` when disconnected."""
+    if source == target:
+        return 0.0, [int(source)]
+    n = g.n
+    indptr, indices, weights = g.indptr, g.indices, g.weights
+
+    dist = [np.full(n, np.inf), np.full(n, np.inf)]
+    parent = [np.full(n, -1, dtype=np.int64), np.full(n, -1, dtype=np.int64)]
+    settled = [np.zeros(n, dtype=bool), np.zeros(n, dtype=bool)]
+    heaps: list[list[tuple[float, int]]] = [[(0.0, source)], [(0.0, target)]]
+    dist[0][source] = 0.0
+    dist[1][target] = 0.0
+
+    best = np.inf
+    meet = -1
+    side = 0
+    while heaps[0] and heaps[1]:
+        # Stop once the two frontier minima cannot improve the meeting.
+        top = heaps[0][0][0] + heaps[1][0][0]
+        if top >= best:
+            break
+        side = 0 if heaps[0][0][0] <= heaps[1][0][0] else 1
+        d, u = heapq.heappop(heaps[side])
+        if settled[side][u] or d > dist[side][u]:
+            continue
+        settled[side][u] = True
+        for slot in range(indptr[u], indptr[u + 1]):
+            v = int(indices[slot])
+            nd = d + weights[slot]
+            if nd < dist[side][v]:
+                dist[side][v] = nd
+                parent[side][v] = u
+                heapq.heappush(heaps[side], (nd, v))
+            cand = dist[side][v] + dist[1 - side][v]
+            if cand < best:
+                best = float(cand)
+                meet = v
+    if not np.isfinite(best):
+        return float("inf"), []
+
+    fwd = [meet]
+    while fwd[-1] != source:
+        fwd.append(int(parent[0][fwd[-1]]))
+    fwd.reverse()
+    cur = meet
+    while cur != target:
+        cur = int(parent[1][cur])
+        fwd.append(cur)
+    return best, fwd

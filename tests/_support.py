@@ -1,0 +1,39 @@
+"""Shared helper functions for the test suite (importable)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import (
+    CSRGraph,
+    attach_blocks,
+    gnm_random_graph,
+    randomize_weights,
+    random_biconnected_graph,
+    subdivide_edges,
+)
+
+
+def close(a, b, atol: float = 1e-8) -> bool:
+    """Distance-matrix comparison treating +inf as a sentinel."""
+    return np.allclose(
+        np.nan_to_num(np.asarray(a), posinf=-1.0),
+        np.nan_to_num(np.asarray(b), posinf=-1.0),
+        atol=atol,
+    )
+
+
+def composite_graph(seed: int, n: int = 30, m: int = 45) -> CSRGraph:
+    """Adversarial family: random core + subdivision + grafted blocks.
+
+    Connected for even seeds, disconnected for odd ones; always has
+    articulation points, degree-2 chains, and several BCCs.
+    """
+    core = gnm_random_graph(n, m, seed=seed, connected=(seed % 2 == 0))
+    g = subdivide_edges(randomize_weights(core, seed=seed), 0.4, seed=seed)
+    return attach_blocks(g, 4, seed=seed)
+
+
+def biconnected_weighted(seed: int, n: int = 40, extra: int = 25) -> CSRGraph:
+    """Random biconnected graph with random weights."""
+    return randomize_weights(random_biconnected_graph(n, extra, seed=seed), seed=seed)

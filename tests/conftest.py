@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.graph import CSRGraph, cycle_graph, grid_graph
+
+
+@pytest.fixture
+def grid():
+    return grid_graph(5, 6)
+
+
+@pytest.fixture
+def ring():
+    return cycle_graph(8)
+
+
+@pytest.fixture
+def multigraph():
+    """Multigraph with parallel edges and self-loops (weights chosen so the
+    MCB is computable by hand: loop 0.5, parallel pair 3.0, square 4.0)."""
+    return CSRGraph(
+        4,
+        [0, 0, 1, 2, 3, 0],
+        [1, 1, 2, 3, 0, 0],
+        [1.0, 2.0, 1.0, 1.0, 1.0, 0.5],
+    )

@@ -1,0 +1,120 @@
+"""Banerjee (BCC + pendant peeling) and Djidjev (partition) baselines."""
+
+import numpy as np
+import pytest
+
+from repro.apsp import bcc_apsp, dijkstra_apsp, partition_apsp, peel_pendants
+from repro.graph import (
+    CSRGraph,
+    grid_graph,
+    path_graph,
+    planar_graph,
+    randomize_weights,
+)
+
+from _support import close, composite_graph
+
+
+class TestPendantPeeling:
+    def test_peel_star(self):
+        g = CSRGraph(5, [0, 0, 0, 0], [1, 2, 3, 4])
+        core, core_ids, peel = peel_pendants(g)
+        # star peels entirely (centre degenerates too)
+        assert len(peel) == 4
+        assert core.m == 0
+
+    def test_peel_iterative_chain(self):
+        g = path_graph(5)
+        core, core_ids, peel = peel_pendants(g)
+        assert core.m == 0
+        assert len(peel) == 4
+
+    def test_peel_keeps_cycles(self, ring):
+        core, core_ids, peel = peel_pendants(ring)
+        assert len(peel) == 0
+        assert core.m == ring.m
+
+    def test_peel_lollipop(self):
+        # triangle with a 2-vertex tail hanging off vertex 2
+        g = CSRGraph(5, [0, 1, 2, 2, 3], [1, 2, 0, 3, 4])
+        core, core_ids, peel = peel_pendants(g)
+        assert len(peel) == 2
+        assert set(core_ids.tolist()) == {0, 1, 2}
+        assert core.m == 3
+
+
+class TestBanerjee:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("peel", [True, False])
+    def test_exact(self, seed, peel):
+        g = composite_graph(seed)
+        assert close(bcc_apsp(g, peel=peel), dijkstra_apsp(g))
+
+    def test_pendant_heavy_graph(self):
+        # deep tree hanging off a cycle
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (4, 6)]
+        g = CSRGraph(7, [e[0] for e in edges], [e[1] for e in edges])
+        g = randomize_weights(g, seed=1)
+        assert close(bcc_apsp(g, peel=True), dijkstra_apsp(g))
+
+    def test_pure_tree(self):
+        g = randomize_weights(path_graph(9), seed=2)
+        assert close(bcc_apsp(g), dijkstra_apsp(g))
+
+    def test_two_pendants_same_support(self):
+        g = CSRGraph(5, [0, 1, 2, 0, 0], [1, 2, 0, 3, 4], [1, 1, 1, 2, 3])
+        d = bcc_apsp(g, peel=True)
+        assert d[3, 4] == 5.0
+        assert close(d, dijkstra_apsp(g))
+
+
+class TestDjidjev:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_on_planar(self, seed):
+        g = planar_graph(120, seed=seed)
+        assert close(partition_apsp(g, k=4, seed=seed), dijkstra_apsp(g))
+
+    @pytest.mark.parametrize("k", [2, 3, 8])
+    def test_various_part_counts(self, k):
+        g = randomize_weights(grid_graph(8, 8), seed=1)
+        assert close(partition_apsp(g, k=k), dijkstra_apsp(g))
+
+    def test_works_on_general_graphs_too(self):
+        g = composite_graph(0)
+        assert close(partition_apsp(g, k=3), dijkstra_apsp(g))
+
+    def test_default_k(self):
+        g = randomize_weights(grid_graph(6, 6), seed=2)
+        assert close(partition_apsp(g), dijkstra_apsp(g))
+
+    def test_disconnected_parts(self):
+        g = CSRGraph(6, [0, 1, 3, 4], [1, 2, 4, 5], [1, 2, 1, 2])
+        d = partition_apsp(g, k=2)
+        assert np.isinf(d[0, 3])
+        assert close(d, dijkstra_apsp(g))
+
+    def test_empty_graph(self):
+        assert partition_apsp(CSRGraph(0, [], [])).shape == (0, 0)
+
+
+class TestDjidjevRecursive:
+    def test_recursive_boundary_matches_flat(self):
+        g = randomize_weights(grid_graph(10, 10), seed=5)
+        flat = partition_apsp(g, k=5, seed=2)
+        rec = partition_apsp(g, k=5, seed=2, recursive_threshold=12)
+        assert close(rec, flat)
+        assert close(rec, dijkstra_apsp(g))
+
+    def test_threshold_larger_than_boundary_is_noop(self):
+        g = randomize_weights(grid_graph(6, 6), seed=6)
+        a = partition_apsp(g, k=3, seed=1)
+        b = partition_apsp(g, k=3, seed=1, recursive_threshold=10_000)
+        assert close(a, b)
+
+    def test_recursion_guard_terminates(self):
+        # pathological: everything is boundary; must not recurse forever
+        from repro.graph import complete_graph
+
+        g = complete_graph(12)
+        d = partition_apsp(g, k=3, seed=0, recursive_threshold=2)
+        assert close(d, dijkstra_apsp(g))

@@ -1,0 +1,114 @@
+"""Benchmark harness entry points and the repro-bench CLI (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Fig2Row,
+    ear_speedup_by_impl,
+    format_kv,
+    format_table,
+    geometric_mean,
+    mteps,
+    ratio_note,
+    run_fig2,
+    run_fig3,
+    run_fig5,
+    run_fig6,
+    run_phase_breakdown,
+    run_table1,
+    run_table2,
+    speedup,
+)
+from repro.cli import main
+
+TINY = 0.012
+FAST = ["nopoly", "as-22july06"]
+
+
+class TestMetrics:
+    def test_mteps_definition(self):
+        assert mteps(1000, 5000, 2.0) == pytest.approx(2.5)
+
+    def test_mteps_zero_time(self):
+        assert mteps(10, 10, 0.0) == float("inf")
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert np.isnan(geometric_mean([]))
+        assert geometric_mean([2.0, float("inf")]) == pytest.approx(2.0)
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (3, 4.0)], title="T")
+        assert "T" in out and "bb" in out and "2.5" in out
+
+    def test_format_table_empty(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_format_kv(self):
+        out = format_kv({"alpha": 1.5, "b": "x"})
+        assert "alpha" in out and "1.5" in out
+
+    def test_ratio_note(self):
+        out = ratio_note("t", 2.0, 1.0)
+        assert "0.50" in out
+
+
+class TestHarness:
+    def test_table1(self):
+        rows = run_table1(scale=TINY, names=FAST)
+        assert len(rows) == 2
+        for r in rows:
+            assert r.ours_mb <= r.max_mb + 1e-12
+
+    def test_fig2_and_fig3(self):
+        rows = run_fig2(scale=TINY, names=FAST + ["Planar_1"])
+        assert {r.kind for r in rows} == {"general", "planar"}
+        assert all(r.t_ours > 0 and r.t_baseline > 0 for r in rows)
+        m = run_fig3(rows)
+        assert all(d["mteps_ours"] > 0 for d in m)
+
+    def test_table2_fig5_fig6(self):
+        rows = run_table2(scale=TINY, names=FAST)
+        assert all(r.basis_weight > 0 for r in rows)
+        for r in rows:
+            for p, (w, wo) in r.seconds.items():
+                assert w > 0 and wo > 0
+                assert wo >= w * 0.9  # ear never hurts much
+        sp = run_fig5(rows)
+        assert set(sp) == {"multicore", "gpu", "cpu+gpu"}
+        ear = ear_speedup_by_impl(rows)
+        assert ear["sequential"] >= 1.0
+        fig6 = run_fig6(rows)
+        assert len(fig6) == 2 and "cpu+gpu" in fig6[0]
+
+    def test_phase_breakdown_sums_to_one(self):
+        frac = run_phase_breakdown("as-22july06", scale=TINY)
+        assert sum(frac.values()) == pytest.approx(1.0)
+        assert frac["labels"] > frac["scan"] or frac["labels"] > 0.3
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", str(TINY), "--datasets", "nopoly"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "--scale", str(TINY), "--datasets", "nopoly", "--mteps"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "MTEPS" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--scale", str(TINY), "--datasets", "nopoly", "--fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Figure 6" in out
+
+    def test_phases(self, capsys):
+        assert main(["phases", "--scale", str(TINY), "--datasets", "as-22july06"]) == 0
+        assert "labels" in capsys.readouterr().out

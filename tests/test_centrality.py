@@ -1,0 +1,91 @@
+"""Brandes betweenness vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.centrality import (
+    betweenness_source_pass,
+    brandes_betweenness,
+    hetero_betweenness,
+)
+from repro.graph import (
+    CSRGraph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    randomize_weights,
+    to_networkx,
+)
+
+from _support import composite_graph
+
+
+def nx_bc(g, normalized=False):
+    G = to_networkx(g)
+    if G.is_multigraph():
+        G = nx.Graph(G)
+    out = nx.betweenness_centrality(G, weight="weight", normalized=normalized)
+    return np.array([out[v] for v in range(g.n)])
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_matches_networkx_weighted(seed):
+    g = randomize_weights(composite_graph(seed, n=16, m=24), seed=seed)
+    assert np.allclose(brandes_betweenness(g), nx_bc(g), atol=1e-8)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_matches_networkx_unit_weights_with_ties(seed):
+    from repro.graph import gnm_random_graph
+
+    g = gnm_random_graph(14, 24, seed=seed)
+    assert np.allclose(brandes_betweenness(g), nx_bc(g), atol=1e-8)
+
+
+def test_path_graph_closed_form():
+    g = path_graph(6)
+    bc = brandes_betweenness(g)
+    # vertex i on a path lies between i*(n-1-i) pairs
+    want = np.array([i * (5 - i) for i in range(6)], dtype=float)
+    assert np.allclose(bc, want)
+
+
+def test_cycle_symmetry(ring):
+    bc = brandes_betweenness(ring)
+    assert np.allclose(bc, bc[0])
+
+
+def test_grid_symmetry(grid):
+    bc = brandes_betweenness(grid)
+    assert np.allclose(bc, bc[::-1], atol=1e-8)  # 180° rotation symmetry
+
+
+def test_normalization():
+    g = grid_graph(3, 3)
+    bc = brandes_betweenness(g, normalized=True)
+    assert np.allclose(bc, nx_bc(g, normalized=True), atol=1e-8)
+
+
+def test_self_loops_ignored():
+    base = cycle_graph(5)
+    with_loop = CSRGraph(
+        5,
+        np.concatenate([base.edge_u, [2]]),
+        np.concatenate([base.edge_v, [2]]),
+        np.concatenate([base.edge_w, [0.1]]),
+    )
+    assert np.allclose(brandes_betweenness(with_loop), brandes_betweenness(base))
+
+
+def test_source_pass_sums_to_bc():
+    g = randomize_weights(grid_graph(3, 3), seed=1)
+    total = sum(betweenness_source_pass(g, s) for s in range(g.n)) / 2.0
+    assert np.allclose(total, brandes_betweenness(g))
+
+
+def test_hetero_betweenness_matches_serial():
+    g = randomize_weights(grid_graph(4, 4), seed=2)
+    bc, report = hetero_betweenness(g)
+    assert np.allclose(bc, brandes_betweenness(g), atol=1e-8)
+    assert sum(report.per_device_units.values()) == g.n

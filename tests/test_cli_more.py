@@ -1,0 +1,23 @@
+"""Remaining CLI surface (datasets command, argument handling)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets", "--scale", "0.012", "--datasets", "nopoly", "c-50"]) == 0
+    out = capsys.readouterr().out
+    assert "nopoly" in out and "c-50" in out and "paper removed%" in out
+
+
+def test_unknown_command_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_table1_subset(capsys):
+    assert main(["table1", "--scale", "0.012", "--datasets", "Planar_1"]) == 0
+    out = capsys.readouterr().out
+    assert "Planar_1" in out
+    assert "nopoly" not in out

@@ -1,0 +1,67 @@
+"""Cycle representation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, cycle_graph, grid_graph
+from repro.mcb import Cycle
+
+
+def test_from_multiset_cancels_pairs(ring):
+    c = Cycle.from_multiset(ring, np.array([0, 1, 1, 2]))
+    assert sorted(c.edge_ids.tolist()) == [0, 2]
+
+
+def test_from_multiset_default_weight(ring):
+    c = Cycle.from_multiset(ring, np.arange(ring.m))
+    assert c.weight == pytest.approx(ring.total_weight)
+
+
+def test_from_multiset_explicit_weight_and_meta(ring):
+    c = Cycle.from_multiset(ring, np.arange(ring.m), weight=42.0, z=3)
+    assert c.weight == 42.0
+    assert c.meta == {"z": 3}
+
+
+def test_is_valid_cycle(ring):
+    full = Cycle(np.arange(ring.m), ring.total_weight)
+    assert full.is_valid_cycle(ring)
+    broken = Cycle(np.array([0, 1]), 2.0)
+    assert not broken.is_valid_cycle(ring)
+    empty = Cycle(np.array([], dtype=np.int64), 0.0)
+    assert not empty.is_valid_cycle(ring)
+
+
+def test_self_loop_is_valid():
+    g = CSRGraph(2, [0, 0], [0, 1])
+    loop = Cycle(np.array([0]), 1.0)
+    assert loop.is_valid_cycle(g)
+
+
+def test_vertex_sequence_ring(ring):
+    seq = Cycle(np.arange(ring.m), ring.total_weight).vertex_sequence(ring)
+    assert len(seq) == ring.n
+    assert set(seq) == set(range(ring.n))
+
+
+def test_vertex_sequence_loop():
+    g = CSRGraph(2, [0, 0], [0, 1])
+    assert Cycle(np.array([0]), 1.0).vertex_sequence(g) == [0]
+
+
+def test_vertex_sequence_rejects_figure_eight():
+    # two triangles sharing a vertex: valid cycle-space vector, not simple
+    g = CSRGraph(5, [0, 1, 2, 2, 3, 4], [1, 2, 0, 3, 4, 2])
+    c = Cycle(np.arange(6), 6.0)
+    assert c.is_valid_cycle(g)
+    with pytest.raises(ValueError):
+        c.vertex_sequence(g)
+
+
+def test_support_weight(grid):
+    c = Cycle(np.array([0, 1, 2]), 99.0)
+    assert c.support_weight(grid) == pytest.approx(float(grid.edge_w[:3].sum()))
+
+
+def test_len(ring):
+    assert len(Cycle(np.arange(3), 3.0)) == 3

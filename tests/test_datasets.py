@@ -1,0 +1,59 @@
+"""Table-1 stand-ins: structure matching and determinism."""
+
+import pytest
+
+from repro import datasets
+from repro.graph.stats import table1_row
+
+
+def test_registry_complete():
+    assert len(datasets.TABLE1) == 15
+    assert len(datasets.MCB_DATASETS) == 7
+    assert len(datasets.PLANAR_DATASETS) == 5
+    assert set(datasets.PLANAR_DATASETS) | set(datasets.GENERAL_DATASETS) == {
+        s.name for s in datasets.TABLE1
+    }
+
+
+def test_load_by_name():
+    g = datasets.load("nopoly", scale=0.02)
+    assert g.n > 0 and g.is_connected()
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError):
+        datasets.load("frankenstein")
+
+
+def test_deterministic():
+    a = datasets.load("c-50", scale=0.02)
+    b = datasets.load("c-50", scale=0.02)
+    assert a == b
+
+
+@pytest.mark.parametrize("spec", datasets.TABLE1, ids=lambda s: s.name)
+def test_structure_matches_paper(spec):
+    g = spec.generate(scale=0.02)
+    row = table1_row(g, spec.name)
+    # Removed-% is the driving knob: must match within 3 percentage points.
+    assert abs(row.nodes_removed_pct - spec.removed_pct) <= 3.0
+    # Largest-BCC dominance within 20 points (block grafting granularity).
+    assert abs(row.largest_bcc_edge_pct - spec.largest_bcc_pct) <= 20.0
+    # Size roughly proportional to the paper's.
+    assert row.n >= 0.015 * spec.n
+
+
+def test_scale_changes_size():
+    small = datasets.load("c-50", scale=0.02)
+    big = datasets.load("c-50", scale=0.05)
+    assert big.n > small.n
+
+
+def test_default_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.123")
+    assert datasets.default_scale() == pytest.approx(0.123)
+
+
+def test_planar_rows_low_edge_density():
+    g = datasets.load("Planar_3", scale=0.02)
+    assert g.m <= 3 * g.n  # planar-like sparsity

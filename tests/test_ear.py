@@ -1,0 +1,127 @@
+"""Ear decomposition: partition properties and failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import ear_decomposition
+from repro.graph import (
+    CSRGraph,
+    GraphError,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+
+from _support import biconnected_weighted
+
+
+def assert_valid_ear_decomposition(g, ed):
+    """The defining properties of Section 2.1.1."""
+    # Every edge on exactly one ear.
+    seen = np.zeros(g.m, dtype=bool)
+    for ear in ed.ears:
+        assert not seen[ear.edges].any()
+        seen[ear.edges] = True
+        # consecutive vertices joined by the listed edges
+        for i, e in enumerate(ear.edges):
+            u, v = g.edge_endpoints(int(e))
+            assert {int(ear.vertices[i]), int(ear.vertices[i + 1])} == ({u, v} if u != v else {u})
+    assert seen.all()
+    # First ear is a cycle (P0 ∪ P1).
+    assert ed.ears[0].is_cycle
+    # Endpoints of later ears lie on earlier ears.
+    on_earlier: set[int] = set()
+    for k, ear in enumerate(ed.ears):
+        if k > 0:
+            assert int(ear.vertices[0]) in on_earlier
+            assert int(ear.vertices[-1]) in on_earlier
+            # interior vertices are new
+            for x in ear.vertices[1:-1]:
+                assert int(x) not in on_earlier
+        on_earlier.update(int(x) for x in ear.vertices)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_biconnected(seed):
+    g = biconnected_weighted(seed)
+    ed = ear_decomposition(g)
+    assert_valid_ear_decomposition(g, ed)
+    assert ed.is_open
+
+
+def test_cycle_single_ear(ring):
+    ed = ear_decomposition(ring)
+    assert ed.count == 1
+    assert ed.ears[0].is_cycle
+    assert len(ed.ears[0]) == ring.m
+
+
+def test_ear_count_equals_cycle_dimension(grid):
+    # Open ear decomposition has exactly m - n + 1 ears.
+    ed = ear_decomposition(grid)
+    assert ed.count == grid.m - grid.n + 1
+
+
+def test_complete_graph(grid):
+    g = complete_graph(6)
+    ed = ear_decomposition(g)
+    assert_valid_ear_decomposition(g, ed)
+    assert ed.is_open
+
+
+def test_parallel_edges_multigraph():
+    g = CSRGraph(2, [0, 0, 0], [1, 1, 1])
+    ed = ear_decomposition(g)
+    assert_valid_ear_decomposition(g, ed)
+    assert ed.count == 2
+
+
+def test_bridge_rejected():
+    with pytest.raises(GraphError, match="2-edge-connected"):
+        ear_decomposition(path_graph(3))
+
+
+def test_two_blocks_not_open():
+    # Two triangles sharing a vertex: 2-edge-connected but not 2-connected.
+    g = CSRGraph(5, [0, 1, 2, 2, 3, 4], [1, 2, 0, 3, 4, 2])
+    ed = ear_decomposition(g)
+    assert_valid_ear_decomposition(g, ed)
+    assert not ed.is_open
+
+
+def test_disconnected_rejected():
+    g = CSRGraph(6, [0, 1, 2, 3, 4, 5], [1, 2, 0, 4, 5, 3])
+    with pytest.raises(GraphError, match="connected"):
+        ear_decomposition(g)
+
+
+def test_self_loop_rejected():
+    g = CSRGraph(3, [0, 1, 2, 0], [1, 2, 0, 0])
+    with pytest.raises(GraphError, match="self-loop"):
+        ear_decomposition(g)
+
+
+def test_empty_rejected():
+    with pytest.raises(GraphError):
+        ear_decomposition(CSRGraph(0, [], []))
+
+
+def test_edge_ear_mapping(grid):
+    ed = ear_decomposition(grid)
+    mapping = ed.edge_ear(grid.m)
+    assert (mapping >= 0).all()
+    for i, ear in enumerate(ed.ears):
+        assert (mapping[ear.edges] == i).all()
+
+
+def test_ear_weight(ring):
+    ed = ear_decomposition(ring)
+    assert np.isclose(ed.ears[0].weight(ring), ring.total_weight)
+
+
+def test_root_parameter():
+    g = biconnected_weighted(3)
+    for root in (0, 5, g.n - 1):
+        ed = ear_decomposition(g, root=root)
+        assert_valid_ear_decomposition(g, ed)

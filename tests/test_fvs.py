@@ -1,0 +1,68 @@
+"""Feedback vertex set correctness and size sanity."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.mcb import greedy_fvs, is_feedback_vertex_set
+
+from _support import composite_graph
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_fvs_property_on_composites(seed):
+    g = composite_graph(seed)
+    fvs = greedy_fvs(g)
+    assert is_feedback_vertex_set(g, fvs)
+
+
+def test_tree_has_empty_fvs():
+    assert greedy_fvs(path_graph(10)).size == 0
+
+
+def test_cycle_needs_one(ring):
+    fvs = greedy_fvs(ring)
+    assert fvs.size == 1
+    assert is_feedback_vertex_set(ring, fvs)
+
+
+def test_self_loop_vertex_forced():
+    g = CSRGraph(3, [0, 1, 2], [1, 2, 2])
+    fvs = greedy_fvs(g)
+    assert 2 in fvs
+    assert is_feedback_vertex_set(g, fvs)
+
+
+def test_parallel_edges_need_coverage(multigraph):
+    fvs = greedy_fvs(multigraph)
+    assert is_feedback_vertex_set(multigraph, fvs)
+
+
+def test_complete_graph_size():
+    g = complete_graph(7)
+    fvs = greedy_fvs(g)
+    assert is_feedback_vertex_set(g, fvs)
+    assert fvs.size == 5  # K_n needs exactly n-2
+
+
+def test_grid_fvs_reasonable(grid):
+    fvs = greedy_fvs(grid)
+    assert is_feedback_vertex_set(grid, fvs)
+    # grid has m-n+1 independent cycles; greedy should stay well below n
+    assert fvs.size <= grid.n // 2
+
+
+def test_is_fvs_detects_non_cover(ring):
+    assert not is_feedback_vertex_set(ring, np.array([], dtype=np.int64))
+
+
+def test_empty_graph():
+    g = CSRGraph(3, [], [])
+    assert greedy_fvs(g).size == 0
+    assert is_feedback_vertex_set(g, np.array([], dtype=np.int64))

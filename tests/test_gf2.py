@@ -1,0 +1,127 @@
+"""Packed GF(2) algebra, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcb import gf2
+
+DIMS = st.integers(min_value=1, max_value=200)
+
+
+@st.composite
+def bit_vector(draw, f=None):
+    if f is None:
+        f = draw(DIMS)
+    bits = draw(st.lists(st.booleans(), min_size=f, max_size=f))
+    return np.asarray(bits, dtype=bool)
+
+
+class TestPacking:
+    @given(bit_vector())
+    @settings(max_examples=80)
+    def test_pack_unpack_roundtrip(self, bits):
+        assert np.array_equal(gf2.unpack(gf2.pack(bits), bits.size), bits)
+
+    @given(bit_vector())
+    @settings(max_examples=50)
+    def test_get_bit_matches(self, bits):
+        v = gf2.pack(bits)
+        for i in range(bits.size):
+            assert gf2.get_bit(v, i) == int(bits[i])
+
+    def test_word_boundaries(self):
+        for f in (63, 64, 65, 127, 128, 129):
+            bits = np.zeros(f, dtype=bool)
+            bits[f - 1] = True
+            v = gf2.pack(bits)
+            assert v.size == gf2.n_words(f)
+            assert gf2.get_bit(v, f - 1) == 1
+
+    def test_set_bit(self):
+        v = gf2.zeros(100)
+        gf2.set_bit(v, 77)
+        assert gf2.get_bit(v, 77) == 1
+        gf2.set_bit(v, 77, 0)
+        assert gf2.get_bit(v, 77) == 0
+
+    def test_unit_vector(self):
+        for i in (0, 63, 64, 99):
+            u = gf2.unit(100, i)
+            assert gf2.unpack(u, 100).sum() == 1
+            assert gf2.get_bit(u, i) == 1
+
+
+class TestAlgebra:
+    @given(bit_vector(f=100), bit_vector(f=100))
+    @settings(max_examples=60)
+    def test_dot_matches_definition(self, a, b):
+        assert gf2.dot(gf2.pack(a), gf2.pack(b)) == int(np.sum(a & b) % 2)
+
+    @given(bit_vector(f=70), bit_vector(f=70))
+    @settings(max_examples=40)
+    def test_xor_matches_definition(self, a, b):
+        va, vb = gf2.pack(a), gf2.pack(b)
+        gf2.xor_inplace(va, vb)
+        assert np.array_equal(gf2.unpack(va, 70), a ^ b)
+
+    @given(bit_vector(f=90))
+    @settings(max_examples=30)
+    def test_self_xor_is_zero(self, a):
+        v = gf2.pack(a)
+        gf2.xor_inplace(v, v.copy())
+        assert not gf2.unpack(v, 90).any()
+
+    def test_dot_many_rows(self):
+        rng = np.random.default_rng(1)
+        mat_bits = rng.integers(0, 2, size=(20, 130)).astype(bool)
+        v_bits = rng.integers(0, 2, size=130).astype(bool)
+        mat = np.stack([gf2.pack(row) for row in mat_bits])
+        v = gf2.pack(v_bits)
+        got = gf2.dot_many(mat, v)
+        want = (mat_bits & v_bits).sum(axis=1) % 2
+        assert np.array_equal(got, want.astype(np.uint8))
+
+    def test_dot_many_empty(self):
+        mat = np.zeros((0, 2), dtype=np.uint64)
+        assert gf2.dot_many(mat, gf2.zeros(100)).shape == (0,)
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        rows = np.stack([gf2.unit(80, i) for i in range(80)])
+        assert gf2.rank(rows) == 80
+        assert gf2.is_independent(rows)
+
+    def test_duplicate_rows_dependent(self):
+        v = gf2.pack(np.array([1, 0, 1, 1], dtype=bool))
+        rows = np.stack([v, v.copy()])
+        assert gf2.rank(rows) == 1
+        assert not gf2.is_independent(rows)
+
+    def test_xor_closure_dependent(self):
+        rng = np.random.default_rng(2)
+        a = gf2.pack(rng.integers(0, 2, 50).astype(bool))
+        b = gf2.pack(rng.integers(0, 2, 50).astype(bool))
+        c = a ^ b
+        assert gf2.rank(np.stack([a, b, c])) == 2
+
+    def test_zero_row(self):
+        rows = np.stack([gf2.zeros(10), gf2.unit(10, 3)])
+        assert gf2.rank(rows) == 1
+
+    def test_empty_matrix(self):
+        assert gf2.rank(np.zeros((0, 1), dtype=np.uint64)) == 0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_rank_invariant_under_row_ops(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(8, 40)).astype(bool)
+        rows = np.stack([gf2.pack(r) for r in bits])
+        r1 = gf2.rank(rows)
+        # xor row 0 into row 1 (elementary op) preserves rank
+        mod = rows.copy()
+        mod[1] ^= mod[0]
+        assert gf2.rank(mod) == r1

@@ -1,0 +1,99 @@
+"""Conversions to/from networkx, scipy, dense adjacency."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    GraphError,
+    from_adjacency,
+    from_networkx,
+    from_scipy,
+    grid_graph,
+    to_adjacency,
+    to_networkx,
+    to_scipy,
+)
+
+
+class TestNetworkx:
+    def test_roundtrip_simple(self, grid):
+        assert from_networkx(to_networkx(grid)) == grid
+
+    def test_roundtrip_multigraph(self, multigraph):
+        g2 = from_networkx(to_networkx(multigraph))
+        assert g2 == multigraph
+
+    def test_multigraph_type_selection(self, grid, multigraph):
+        assert isinstance(to_networkx(grid), nx.Graph)
+        assert isinstance(to_networkx(multigraph), nx.MultiGraph)
+
+    def test_string_labels_are_relabelled(self):
+        G = nx.Graph()
+        G.add_edge("b", "a", weight=2.0)
+        G.add_node("c")
+        g = from_networkx(G)
+        assert g.n == 3 and g.m == 1
+        assert g.edge_weight(0, 1) == 2.0  # 'a'-'b' after sorting
+
+    def test_missing_weight_uses_default(self):
+        G = nx.Graph()
+        G.add_edge(0, 1)
+        g = from_networkx(G, default=3.5)
+        assert g.edge_weight(0, 1) == 3.5
+
+    def test_isolated_nodes_preserved(self):
+        g = CSRGraph(4, [0], [1])
+        assert to_networkx(g).number_of_nodes() == 4
+
+
+class TestScipy:
+    def test_roundtrip(self, grid):
+        assert from_scipy(to_scipy(grid)) == grid
+
+    def test_rejects_rectangular(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(GraphError):
+            from_scipy(sp.random(3, 4, density=0.5))
+
+    def test_diagonal_becomes_loop(self):
+        import scipy.sparse as sp
+
+        mat = sp.coo_matrix(([2.0], ([1], [1])), shape=(3, 3))
+        g = from_scipy(mat)
+        assert g.has_self_loops and g.m == 1
+
+
+class TestDense:
+    def test_roundtrip(self, grid):
+        assert from_adjacency(to_adjacency(grid)) == grid
+
+    def test_absent_marker(self):
+        g = CSRGraph(2, [0], [1], [2.0])
+        a = to_adjacency(g, absent=np.inf)
+        assert a[0, 1] == 2.0 and np.isinf(a[0, 0])
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(GraphError):
+            from_adjacency(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(GraphError):
+            from_adjacency(np.zeros((2, 3)))
+
+    def test_parallel_edges_collapse_to_min(self):
+        g = CSRGraph(2, [0, 0], [1, 1], [5.0, 2.0])
+        assert to_adjacency(g)[0, 1] == 2.0
+
+
+def test_networkx_apsp_agreement(grid):
+    """Conversion preserves shortest-path semantics end to end."""
+    G = to_networkx(grid)
+    d_nx = dict(nx.all_pairs_dijkstra_path_length(G))
+    from repro.sssp import dijkstra
+
+    d0 = dijkstra(grid, 0)
+    for t, dv in d_nx[0].items():
+        assert np.isclose(d0[t], dv)

@@ -1,0 +1,198 @@
+"""CSRGraph construction, accessors, derived graphs, connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, GraphError, cycle_graph, grid_graph, path_graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = CSRGraph(0, [], [])
+        assert g.n == 0 and g.m == 0
+        assert g.is_connected()
+
+    def test_isolated_vertices(self):
+        g = CSRGraph(5, [], [])
+        assert g.n == 5 and g.m == 0
+        assert (g.degree == 0).all()
+
+    def test_default_unit_weights(self):
+        g = CSRGraph(3, [0, 1], [1, 2])
+        assert np.allclose(g.edge_w, 1.0)
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(-1, [], [])
+
+    def test_endpoint_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(3, [0], [3])
+        with pytest.raises(GraphError):
+            CSRGraph(3, [-1], [0])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(3, [0, 1], [1])
+        with pytest.raises(GraphError):
+            CSRGraph(3, [0, 1], [1, 2], [1.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(2, [0], [1], [-1.0])
+
+    def test_nonfinite_weight_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(2, [0], [1], [np.inf])
+        with pytest.raises(GraphError):
+            CSRGraph(2, [0], [1], [np.nan])
+
+    def test_from_edges_mixed_tuples(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2, 2.5), (2, 3)])
+        assert g.m == 3
+        assert g.edge_weight(1, 2) == 2.5
+        assert g.edge_weight(0, 1) == 1.0
+
+
+class TestDegreesAndAdjacency:
+    def test_path_degrees(self):
+        g = path_graph(4)
+        assert list(g.degree) == [1, 2, 2, 1]
+
+    def test_self_loop_counts_twice(self):
+        g = CSRGraph(2, [0, 0], [0, 1])
+        assert g.degree[0] == 3  # loop (2) + edge (1)
+        assert g.degree[1] == 1
+
+    def test_parallel_edges_count_separately(self):
+        g = CSRGraph(2, [0, 0], [1, 1])
+        assert g.degree[0] == 2 and g.degree[1] == 2
+
+    def test_neighbors_sorted_into_csr(self):
+        g = grid_graph(3, 3)
+        center = 4
+        assert sorted(g.neighbors(center).tolist()) == [1, 3, 5, 7]
+
+    def test_incident_returns_consistent_triples(self):
+        g = CSRGraph(3, [0, 0, 1], [1, 2, 2], [1.0, 2.0, 3.0])
+        nbrs, wts, eids = g.incident(0)
+        for v, w, e in zip(nbrs, wts, eids):
+            u2, v2 = g.edge_endpoints(int(e))
+            assert {0, int(v)} == {u2, v2}
+            assert w == g.edge_w[e]
+
+    def test_has_edge_and_edge_weight(self):
+        g = CSRGraph(3, [0, 0], [1, 1], [3.0, 1.5])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert g.edge_weight(0, 1) == 1.5  # min of parallels
+        with pytest.raises(KeyError):
+            g.edge_weight(0, 2)
+
+    def test_edges_iteration_roundtrip(self):
+        g = grid_graph(3, 4)
+        edges = list(g.edges())
+        assert len(edges) == g.m
+        g2 = CSRGraph.from_edges(g.n, edges)
+        assert g2 == g
+
+    def test_total_weight(self):
+        g = CSRGraph(3, [0, 1], [1, 2], [1.5, 2.5])
+        assert g.total_weight == 4.0
+
+
+class TestFlags:
+    def test_simple_graph_flags(self, grid):
+        assert grid.is_simple()
+        assert not grid.has_parallel_edges
+        assert not grid.has_self_loops
+
+    def test_parallel_flag(self):
+        g = CSRGraph(2, [0, 0], [1, 1])
+        assert g.has_parallel_edges and not g.has_self_loops
+
+    def test_loop_flag(self):
+        g = CSRGraph(2, [0], [0])
+        assert g.has_self_loops and not g.has_parallel_edges
+
+
+class TestDerivedGraphs:
+    def test_simplify_keeps_min_weight(self):
+        g = CSRGraph(2, [0, 0, 0], [1, 1, 0], [3.0, 1.0, 9.0])
+        s = g.simplify()
+        assert s.m == 1
+        assert s.edge_weight(0, 1) == 1.0
+        assert not s.has_self_loops
+
+    def test_simplify_idempotent(self, grid):
+        assert grid.simplify() == grid
+
+    def test_subgraph_relabels(self):
+        g = grid_graph(3, 3)
+        sub, vmap = g.subgraph([0, 1, 3, 4])
+        assert sub.n == 4
+        assert sub.m == 4  # the top-left unit square
+        assert list(vmap) == [0, 1, 3, 4]
+
+    def test_subgraph_duplicate_rejected(self, grid):
+        with pytest.raises(GraphError):
+            grid.subgraph([0, 0, 1])
+
+    def test_edge_subgraph(self):
+        g = cycle_graph(5)
+        sub = g.edge_subgraph([0, 1])
+        assert sub.n == g.n and sub.m == 2
+
+    def test_with_weights(self):
+        g = path_graph(3)
+        g2 = g.with_weights(np.array([5.0, 7.0]))
+        assert g2.total_weight == 12.0
+        assert g.total_weight == 2.0  # original untouched
+
+    def test_permutation(self):
+        g = path_graph(3)
+        perm = np.array([2, 0, 1])
+        g2 = g.reverse_permutation(perm)
+        assert g2.has_edge(2, 0) and g2.has_edge(0, 1)
+        with pytest.raises(GraphError):
+            g.reverse_permutation(np.array([0, 0, 1]))
+
+
+class TestConnectivity:
+    def test_connected_components_labels(self):
+        g = CSRGraph(6, [0, 1, 3], [1, 2, 4])
+        count, labels = g.connected_components()
+        assert count == 3
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_is_connected(self, grid, ring):
+        assert grid.is_connected()
+        assert ring.is_connected()
+        assert not CSRGraph(3, [0], [1]).is_connected()
+
+    def test_cycle_space_dimension(self, ring, grid):
+        assert ring.cycle_space_dimension() == 1
+        assert grid.cycle_space_dimension() == grid.m - grid.n + 1
+        assert path_graph(5).cycle_space_dimension() == 0
+
+    def test_cycle_space_dimension_with_loops(self):
+        g = CSRGraph(2, [0, 0, 0], [1, 1, 0])
+        # edges: one tree edge, one parallel, one loop -> dim 2
+        assert g.cycle_space_dimension() == 2
+
+
+class TestEquality:
+    def test_equal_ignores_edge_order(self):
+        a = CSRGraph(3, [0, 1], [1, 2], [1.0, 2.0])
+        b = CSRGraph(3, [2, 1], [1, 0], [2.0, 1.0])
+        assert a == b
+
+    def test_unequal_weights(self):
+        a = CSRGraph(2, [0], [1], [1.0])
+        b = CSRGraph(2, [0], [1], [2.0])
+        assert a != b
+
+    def test_not_comparable_to_other_types(self, grid):
+        assert grid.__eq__(42) is NotImplemented

@@ -1,0 +1,151 @@
+"""Generator invariants: determinism, structure, weight preservation."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import biconnected_components
+from repro.graph import (
+    GraphError,
+    attach_blocks,
+    complete_graph,
+    cycle_graph,
+    delaunay_graph,
+    gnm_random_graph,
+    grid_graph,
+    path_graph,
+    planar_graph,
+    preferential_attachment_graph,
+    random_biconnected_graph,
+    randomize_weights,
+    subdivide_edges,
+    subdivide_to_count,
+)
+from repro.sssp import dijkstra
+
+
+class TestBasicShapes:
+    def test_path(self):
+        g = path_graph(5, weight=2.0)
+        assert g.n == 5 and g.m == 4
+        assert g.total_weight == 8.0
+        with pytest.raises(GraphError):
+            path_graph(0)
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.m == 6 and (g.degree == 2).all()
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10 and (g.degree == 4).all()
+
+    def test_grid(self):
+        g = grid_graph(4, 7)
+        assert g.n == 28 and g.m == 3 * 7 + 4 * 6
+        assert g.is_connected()
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+
+class TestRandomFamilies:
+    def test_gnm_counts_and_determinism(self):
+        g1 = gnm_random_graph(30, 50, seed=7)
+        g2 = gnm_random_graph(30, 50, seed=7)
+        assert g1 == g2
+        assert g1.n == 30 and g1.m == 50 and g1.is_simple()
+
+    def test_gnm_connected_flag(self):
+        g = gnm_random_graph(40, 45, seed=3, connected=True)
+        assert g.is_connected()
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(4, 10)
+
+    def test_gnm_too_few_for_connected(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(10, 5, connected=True)
+
+    def test_random_biconnected_is_biconnected(self):
+        for seed in range(4):
+            g = random_biconnected_graph(25, 15, seed=seed)
+            bcc = biconnected_components(g)
+            assert bcc.count == 1
+            assert len(bcc.articulation_points) == 0
+
+    def test_preferential_attachment(self):
+        g = preferential_attachment_graph(100, 3, seed=1)
+        assert g.n == 100 and g.is_connected()
+        assert g.m == 97 * 3
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(3, 3)
+
+    def test_delaunay_planar_edge_bound(self):
+        g = delaunay_graph(150, seed=2)
+        assert g.m <= 3 * g.n - 6  # planarity
+        assert g.is_connected() and g.is_simple()
+
+    def test_planar_graph_connected_with_degree2(self):
+        g = planar_graph(200, seed=5)
+        assert g.is_connected()
+        assert (g.degree == 2).sum() > 0
+
+
+class TestSubdivision:
+    def test_preserves_distances(self):
+        base = randomize_weights(grid_graph(4, 4), seed=1)
+        sub = subdivide_edges(base, 0.5, seed=2)
+        d_base = dijkstra(base, 0)
+        d_sub = dijkstra(sub, 0)
+        assert np.allclose(d_sub[: base.n], d_base, atol=1e-9)
+
+    def test_zero_fraction_is_identity(self, grid):
+        assert subdivide_edges(grid, 0.0) is grid
+
+    def test_fraction_bounds(self, grid):
+        with pytest.raises(GraphError):
+            subdivide_edges(grid, 1.5)
+
+    def test_inserted_nodes_have_degree_two(self, grid):
+        sub = subdivide_edges(grid, 0.7, seed=3)
+        assert (sub.degree[grid.n :] == 2).all()
+
+    def test_subdivide_to_count_exact(self, grid):
+        for k in (0, 1, 7, 40, 200):
+            sub = subdivide_to_count(grid, k, seed=4)
+            assert sub.n == grid.n + k
+            if k:
+                assert (sub.degree[grid.n :] == 2).all()
+
+    def test_subdivide_to_count_preserves_distances(self):
+        base = randomize_weights(grid_graph(4, 4), seed=9)
+        sub = subdivide_to_count(base, 23, seed=5)
+        assert np.allclose(dijkstra(sub, 0)[: base.n], dijkstra(base, 0), atol=1e-9)
+
+    def test_subdivide_negative_rejected(self, grid):
+        with pytest.raises(GraphError):
+            subdivide_to_count(grid, -1)
+
+
+class TestBlocks:
+    def test_attach_blocks_increases_bcc_count(self, grid):
+        g = attach_blocks(grid, 5, seed=1)
+        bcc = biconnected_components(g)
+        assert bcc.count == biconnected_components(grid).count + 5
+
+    def test_clique_blocks_leave_no_degree2(self, grid):
+        g = attach_blocks(grid, 5, seed=1, style="clique")
+        assert (g.degree[grid.n :] >= 3).all()
+
+    def test_unknown_style_rejected(self, grid):
+        with pytest.raises(GraphError):
+            attach_blocks(grid, 1, style="torus")
+
+
+def test_randomize_weights_range_and_determinism(grid):
+    g1 = randomize_weights(grid, seed=3, low=2.0, high=4.0)
+    g2 = randomize_weights(grid, seed=3, low=2.0, high=4.0)
+    assert g1 == g2
+    assert (g1.edge_w >= 2.0).all() and (g1.edge_w < 4.0).all()

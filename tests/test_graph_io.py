@@ -1,0 +1,179 @@
+"""File format round trips and error handling."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    GraphError,
+    grid_graph,
+    randomize_weights,
+    read_dimacs,
+    read_edge_list,
+    read_matrix_market,
+    write_dimacs,
+    write_edge_list,
+    write_matrix_market,
+)
+from repro.graph.io import loads_edge_list
+
+
+@pytest.fixture
+def weighted(grid):
+    return randomize_weights(grid, seed=1)
+
+
+class TestMatrixMarket:
+    def test_roundtrip_buffer(self, weighted):
+        buf = io.StringIO()
+        write_matrix_market(weighted, buf)
+        buf.seek(0)
+        assert read_matrix_market(buf) == weighted
+
+    def test_roundtrip_file(self, weighted, tmp_path):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(weighted, path)
+        assert read_matrix_market(path) == weighted
+
+    def test_pattern_matrix_gets_unit_weights(self):
+        text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n"
+        g = read_matrix_market(io.StringIO(text))
+        assert g.m == 2 and np.allclose(g.edge_w, 1.0)
+
+    def test_rejects_non_mm(self):
+        with pytest.raises(GraphError):
+            read_matrix_market(io.StringIO("not a matrix\n"))
+
+    def test_rejects_dense_format(self):
+        with pytest.raises(GraphError):
+            read_matrix_market(io.StringIO("%%MatrixMarket matrix array real general\n"))
+
+    def test_rejects_rectangular(self):
+        text = "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 1 1.0\n"
+        with pytest.raises(GraphError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_diagonal_entry_is_self_loop(self):
+        text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 2.0\n2 1 1.0\n"
+        g = read_matrix_market(io.StringIO(text))
+        assert g.has_self_loops
+
+    def test_comment_lines_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% a comment\n% another\n2 2 1\n2 1 3.5\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.m == 1 and g.edge_weight(0, 1) == 3.5
+
+
+class TestEdgeList:
+    def test_roundtrip(self, weighted):
+        buf = io.StringIO()
+        write_edge_list(weighted, buf)
+        buf.seek(0)
+        assert read_edge_list(buf) == weighted
+
+    def test_comments_and_blank_lines(self):
+        g = loads_edge_list("# comment\n\n0 1 2.0\n1 2\n")
+        assert g.m == 2 and g.edge_weight(1, 2) == 1.0
+
+    def test_explicit_vertex_count(self):
+        g = read_edge_list(io.StringIO("0 1\n"), n=5)
+        assert g.n == 5
+
+    def test_empty_input(self):
+        g = read_edge_list(io.StringIO(""))
+        assert g.n == 0 and g.m == 0
+
+
+class TestDimacs:
+    def test_roundtrip(self, weighted):
+        buf = io.StringIO()
+        write_dimacs(weighted, buf, comment="test graph")
+        buf.seek(0)
+        assert read_dimacs(buf) == weighted
+
+    def test_min_weight_arc_kept(self):
+        text = "p sp 2 3\na 1 2 5\na 2 1 3\na 1 2 4\n"
+        g = read_dimacs(io.StringIO(text))
+        assert g.m == 1 and g.edge_weight(0, 1) == 3.0
+
+    def test_comments_ignored(self):
+        g = read_dimacs(io.StringIO("c hello\np sp 3 1\na 1 3 2\n"))
+        assert g.n == 3 and g.edge_weight(0, 2) == 2.0
+
+
+class TestMetis:
+    def test_roundtrip(self, weighted):
+        buf = io.StringIO()
+        from repro.graph import read_metis, write_metis
+
+        write_metis(weighted, buf)
+        buf.seek(0)
+        assert read_metis(buf) == weighted
+
+    def test_plain_format_unit_weights(self):
+        from repro.graph import read_metis
+
+        text = "3 2\n2\n1 3\n2\n"
+        g = read_metis(io.StringIO(text))
+        assert g.m == 2 and np.allclose(g.edge_w, 1.0)
+
+    def test_edge_count_mismatch_rejected(self):
+        from repro.graph import read_metis
+
+        with pytest.raises(GraphError):
+            read_metis(io.StringIO("3 5\n2\n1 3\n2\n"))
+
+    def test_vertex_count_mismatch_rejected(self):
+        from repro.graph import read_metis
+
+        with pytest.raises(GraphError):
+            read_metis(io.StringIO("4 2\n2\n1 3\n2\n"))
+
+    def test_comment_lines(self):
+        from repro.graph import read_metis
+
+        text = "3 2\n% comment before vertex 1? no: after header only\n2\n1 3\n2\n"
+        # comments are permitted between adjacency lines
+        g = read_metis(io.StringIO(text))
+        assert g.m == 2
+
+    def test_simplifies_on_write(self, multigraph):
+        from repro.graph import read_metis, write_metis
+
+        buf = io.StringIO()
+        write_metis(multigraph, buf)
+        buf.seek(0)
+        g = read_metis(buf)
+        assert g.is_simple()
+        assert g == multigraph.simplify()
+
+
+class TestNpz:
+    def test_roundtrip(self, weighted, tmp_path):
+        from repro.graph import load_npz, save_npz
+
+        path = tmp_path / "g.npz"
+        save_npz(weighted, path)
+        assert load_npz(path) == weighted
+
+    def test_multigraph_roundtrip(self, multigraph, tmp_path):
+        from repro.graph import load_npz, save_npz
+
+        path = tmp_path / "m.npz"
+        save_npz(multigraph, path)
+        g2 = load_npz(path)
+        assert g2 == multigraph
+        assert g2.has_self_loops and g2.has_parallel_edges
+
+    def test_empty_graph(self, tmp_path):
+        from repro.graph import CSRGraph, load_npz, save_npz
+
+        path = tmp_path / "e.npz"
+        save_npz(CSRGraph(7, [], []), path)
+        g = load_npz(path)
+        assert g.n == 7 and g.m == 0

@@ -1,0 +1,42 @@
+"""Structural statistics (Table-1 columns)."""
+
+import numpy as np
+
+from repro.graph import CSRGraph, cycle_graph, degree_histogram, grid_graph, path_graph, table1_row
+
+
+def test_degree_histogram_path():
+    hist = degree_histogram(path_graph(5))
+    assert hist[1] == 2 and hist[2] == 3
+
+
+def test_degree_histogram_empty():
+    assert degree_histogram(CSRGraph(0, [], [])).tolist() == [0]
+
+
+def test_degree_histogram_with_loops():
+    g = CSRGraph(2, [0, 0], [0, 1])
+    hist = degree_histogram(g)
+    assert hist[3] == 1 and hist[1] == 1
+
+
+def test_table1_row_cycle():
+    st = table1_row(cycle_graph(10), "ring")
+    assert st.name == "ring"
+    assert st.n == 10 and st.m == 10
+    assert st.n_bcc == 1
+    assert st.largest_bcc_edge_pct == 100.0
+    assert st.degree2_pct == 100.0
+    # whole ring contracts to one anchor
+    assert st.nodes_removed_pct == 90.0
+
+
+def test_table1_row_empty_graph():
+    st = table1_row(CSRGraph(0, [], []))
+    assert st.n == 0 and st.nodes_removed_pct == 0.0
+
+
+def test_table1_as_row_shape():
+    st = table1_row(grid_graph(3, 3), "g")
+    row = st.as_row()
+    assert row[0] == "g" and len(row) == 6

@@ -1,0 +1,79 @@
+"""Isometric cycle filter and the MCB built on it."""
+
+import numpy as np
+import pytest
+
+from repro.apsp import dijkstra_apsp
+from repro.graph import CSRGraph, complete_graph, cycle_graph, gnm_random_graph, randomize_weights
+from repro.mcb import (
+    Cycle,
+    depina_mcb,
+    filter_isometric,
+    horton_set,
+    is_isometric,
+    isometric_mcb,
+    verify_cycle_basis,
+)
+
+from _support import biconnected_weighted
+
+
+def test_plain_cycle_is_isometric(ring):
+    dist = dijkstra_apsp(ring)
+    cyc = Cycle(np.arange(ring.m), float(ring.m))
+    assert is_isometric(ring, cyc, dist)
+
+
+def test_detour_cycle_not_isometric():
+    # square 0-1-2-3 plus a shortcut diagonal 0-2 of tiny weight:
+    # the square is not isometric (d(0,2) < both square arcs)
+    g = CSRGraph(4, [0, 1, 2, 3, 0], [1, 2, 3, 0, 2], [1, 1, 1, 1, 0.1])
+    dist = dijkstra_apsp(g)
+    square = Cycle(np.arange(4), 4.0)
+    assert not is_isometric(g, square, dist)
+    tri = Cycle(np.array([0, 1, 4]), 2.1)
+    assert is_isometric(g, tri, dist)
+
+
+def test_self_loop_isometric():
+    g = CSRGraph(1, [0], [0], [2.0])
+    assert is_isometric(g, Cycle(np.array([0]), 2.0), dijkstra_apsp(g))
+
+
+def test_filter_shrinks_horton_set():
+    g = biconnected_weighted(1, n=14, extra=10)
+    hs = horton_set(g)
+    iso = filter_isometric(g, hs)
+    assert len(iso) <= len(hs)
+    assert len(iso) >= g.cycle_space_dimension()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_isometric_mcb_matches_depina(seed):
+    g = randomize_weights(gnm_random_graph(14, 24, seed=seed), seed=seed)
+    w_iso = sum(c.weight for c in isometric_mcb(g))
+    w_dp = sum(c.weight for c in depina_mcb(g))
+    assert w_iso == pytest.approx(w_dp, rel=1e-6)
+
+
+def test_isometric_mcb_unit_weights():
+    g = complete_graph(5)
+    basis = isometric_mcb(g)
+    rep = verify_cycle_basis(g, basis)
+    assert rep.ok
+    assert rep.total_weight == pytest.approx(
+        sum(c.weight for c in depina_mcb(g)), rel=1e-6
+    )
+
+
+def test_isometric_mcb_forest():
+    from repro.graph import path_graph
+
+    assert isometric_mcb(path_graph(5)) == []
+
+
+def test_non_simple_support_rejected():
+    # figure-eight support is a cycle-space vector but not simple
+    g = CSRGraph(5, [0, 1, 2, 2, 3, 4], [1, 2, 0, 3, 4, 2])
+    fig8 = Cycle(np.arange(6), 6.0)
+    assert not is_isometric(g, fig8, dijkstra_apsp(g))

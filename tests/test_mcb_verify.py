@@ -1,0 +1,60 @@
+"""The basis verifier must catch every kind of broken basis."""
+
+import numpy as np
+import pytest
+
+from repro.graph import complete_graph, cycle_graph
+from repro.mcb import Cycle, depina_mcb, verify_cycle_basis
+
+
+@pytest.fixture
+def k4():
+    return complete_graph(4)
+
+
+def test_accepts_correct_basis(k4):
+    rep = verify_cycle_basis(k4, depina_mcb(k4))
+    assert rep.ok
+    assert rep.dimension == rep.expected_dimension == 3
+    assert rep.independent and rep.all_cycles_valid
+    assert rep.total_weight == pytest.approx(9.0)
+
+
+def test_rejects_wrong_cardinality(k4):
+    basis = depina_mcb(k4)[:2]
+    rep = verify_cycle_basis(k4, basis)
+    assert not rep.ok
+    assert "cardinality" in rep.message
+
+
+def test_rejects_dependent_cycles(k4):
+    basis = depina_mcb(k4)
+    broken = [basis[0], basis[1], basis[0]]  # duplicate
+    rep = verify_cycle_basis(k4, broken)
+    assert not rep.ok and not rep.independent
+
+
+def test_rejects_non_cycle_support(k4):
+    basis = depina_mcb(k4)
+    bogus = Cycle(np.array([0, 1]), 2.0)  # open path
+    rep = verify_cycle_basis(k4, [basis[0], basis[1], bogus])
+    assert not rep.ok
+    assert not rep.all_cycles_valid
+
+
+def test_empty_basis_of_forest():
+    from repro.graph import path_graph
+
+    rep = verify_cycle_basis(path_graph(4), [])
+    assert rep.ok and rep.dimension == 0
+
+
+def test_single_cycle_graph(ring):
+    rep = verify_cycle_basis(ring, [Cycle(np.arange(ring.m), float(ring.m))])
+    assert rep.ok
+
+
+def test_weight_is_sum_of_reported_weights(k4):
+    basis = depina_mcb(k4)
+    rep = verify_cycle_basis(k4, basis)
+    assert rep.total_weight == pytest.approx(sum(c.weight for c in basis))

@@ -1,0 +1,99 @@
+"""Smaller units: engine internals, chains, reports, platform lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.apsp.ear_apsp import EarAPSPReport
+from repro.decomposition import reduce_graph
+from repro.graph import CSRGraph, cycle_graph, path_graph, subdivide_edges
+from repro.hetero import Platform
+from repro.mcb import EarMCBReport
+from repro.sssp import adjacency_matrix
+
+
+class TestEngineInternals:
+    def test_zero_weight_nudge(self):
+        g = CSRGraph(2, [0], [1], [0.0])
+        mat = adjacency_matrix(g)
+        assert mat[0, 1] == 1e-300  # explicit zero kept as tiny epsilon
+
+    def test_parallel_edges_take_min(self):
+        g = CSRGraph(2, [0, 0], [1, 1], [5.0, 2.0])
+        assert adjacency_matrix(g)[0, 1] == 2.0
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph(2, [0, 0], [0, 1], [1.0, 3.0])
+        mat = adjacency_matrix(g)
+        assert mat[0, 0] == 0.0 and mat[0, 1] == 3.0
+
+
+class TestChainProperties:
+    def test_chain_accessors(self):
+        g = CSRGraph(4, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+        red = reduce_graph(g)
+        chain = red.chains[0]
+        assert chain.left == 0 and chain.right == 3
+        assert chain.weight == pytest.approx(6.0)
+        assert list(chain.interior) == [1, 2]
+        assert len(chain) == 3
+
+    def test_loop_chain_interior(self, ring):
+        red = reduce_graph(ring)
+        chain = red.chains[0]
+        assert chain.left == chain.right
+        assert chain.interior.size == ring.n - 1
+
+
+class TestReports:
+    def test_ear_apsp_report_total(self):
+        rep = EarAPSPReport(t_preprocess=1.0, t_process=2.0, t_postprocess=3.0)
+        assert rep.total == pytest.approx(6.0)
+
+    def test_ear_mcb_report_total(self):
+        rep = EarMCBReport(t_decompose=1.0, t_reduce=0.5, t_solve=2.0, t_expand=0.25)
+        assert rep.total == pytest.approx(3.75)
+
+
+class TestPlatformLifecycle:
+    def test_total_time_and_reset(self):
+        plat = Platform.heterogeneous()
+        assert plat.total_time == 0.0
+        plat.devices[0].clock.advance(1.5)
+        assert plat.total_time == pytest.approx(1.5)
+        plat.reset()
+        assert plat.total_time == 0.0
+
+    def test_empty_platform_total_time(self):
+        assert Platform("x", []).total_time == 0.0
+
+
+class TestReduceEdgeCases:
+    def test_two_vertex_parallel_pair(self):
+        g = CSRGraph(2, [0, 0], [1, 1], [1.0, 2.0])
+        red = reduce_graph(g)
+        red.validate()
+        # both endpoints have degree 2 but the pair forms a pure 2-cycle:
+        # one anchor is promoted and the other contracts into a loop... or
+        # both stay; either way the structure must validate and preserve
+        # the cycle dimension.
+        assert red.graph.cycle_space_dimension() == 1
+
+    def test_subdivided_loop_chain_distances(self):
+        # ring with an attached spoke: the ring contracts to a self-loop
+        # at the attachment vertex
+        g = CSRGraph(5, [0, 1, 2, 3, 0], [1, 2, 3, 0, 4], [1, 1, 1, 1, 5.0])
+        red = reduce_graph(g)
+        red.validate()
+        assert red.kept_mask[0] and red.kept_mask[4]
+        loop_edges = [
+            e for e in range(red.graph.m)
+            if red.graph.edge_u[e] == red.graph.edge_v[e]
+        ]
+        assert len(loop_edges) == 1
+        assert red.graph.edge_w[loop_edges[0]] == pytest.approx(4.0)
+
+    def test_reduce_of_subdivided_path_keeps_ends(self):
+        g = subdivide_edges(path_graph(2), 1.0, seed=1, chain_length=(3, 3))
+        red = reduce_graph(g)
+        assert red.graph.n == 2 and red.graph.m == 1
+        assert red.graph.edge_w[0] == pytest.approx(1.0)

@@ -1,0 +1,86 @@
+"""Multilevel partitioner invariants."""
+
+import numpy as np
+import pytest
+
+from repro.graph import delaunay_graph, grid_graph, gnm_random_graph
+from repro.partition import Partition, partition_graph
+
+
+@pytest.mark.parametrize("k", [2, 4, 7])
+def test_assignment_covers_all_vertices(k):
+    g = grid_graph(10, 10)
+    part = partition_graph(g, k, seed=1)
+    assert part.assignment.shape == (g.n,)
+    assert part.assignment.min() >= 0
+    assert part.assignment.max() < k
+    assert sum(len(p) for p in part.parts()) == g.n
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_balance(k):
+    g = grid_graph(12, 12)
+    part = partition_graph(g, k, seed=2)
+    assert part.balance() <= 1.35
+
+
+def test_boundary_on_mesh_is_small():
+    g = grid_graph(16, 16)
+    part = partition_graph(g, 4, seed=3)
+    # a decent 4-way mesh partition cuts O(sqrt(n)) vertices
+    assert len(part.boundary_vertices(g)) < g.n // 3
+
+
+def test_edge_cut_counts_cross_edges():
+    g = grid_graph(4, 4)
+    part = partition_graph(g, 2, seed=4)
+    asg = part.assignment
+    manual = int((asg[g.edge_u] != asg[g.edge_v]).sum())
+    assert part.edge_cut(g) == manual
+
+
+def test_k_one_trivial():
+    g = grid_graph(3, 3)
+    part = partition_graph(g, 1)
+    assert (part.assignment == 0).all()
+
+
+def test_k_ge_n_degenerates():
+    g = grid_graph(2, 2)
+    part = partition_graph(g, 10, seed=0)
+    assert part.assignment.shape == (4,)
+
+
+def test_deterministic():
+    g = delaunay_graph(200, seed=5)
+    a = partition_graph(g, 4, seed=9).assignment
+    b = partition_graph(g, 4, seed=9).assignment
+    assert np.array_equal(a, b)
+
+
+def test_partition_of_disconnected_graph():
+    from repro.graph import CSRGraph
+
+    g = CSRGraph(8, [0, 1, 4, 5], [1, 2, 5, 6])
+    part = partition_graph(g, 2, seed=1)
+    assert sum(len(p) for p in part.parts()) == 8
+
+
+def test_no_boundary_when_parts_disconnect_cleanly():
+    from repro.graph import CSRGraph
+
+    g = CSRGraph(4, [0, 2], [1, 3])
+    part = Partition(np.array([0, 0, 1, 1]), 2)
+    assert part.edge_cut(g) == 0
+    assert len(part.boundary_vertices(g)) == 0
+
+
+def test_refinement_does_not_worsen_cut():
+    g = gnm_random_graph(120, 300, seed=7)
+    from repro.partition.metis_lite import _kl_refine
+
+    rng = np.random.default_rng(0)
+    rough = rng.integers(0, 3, size=g.n)
+    part0 = Partition(rough.copy(), 3)
+    refined = Partition(_kl_refine(g, rough, 3, passes=4), 3)
+    assert refined.edge_cut(g) <= part0.edge_cut(g)

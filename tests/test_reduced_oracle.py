@@ -1,0 +1,75 @@
+"""Reduced-table oracle: exactness and the stronger memory bound."""
+
+import numpy as np
+import pytest
+
+from repro.apsp import DistanceOracle, ReducedDistanceOracle, dijkstra_apsp
+from repro.graph import CSRGraph, cycle_graph, path_graph, subdivide_edges
+
+from _support import biconnected_weighted, composite_graph
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_exact_on_composites(seed):
+    g = composite_graph(seed)
+    ro = ReducedDistanceOracle(g)
+    ref = dijkstra_apsp(g)
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, g.n, size=(300, 2))
+    got = ro.query_many(pairs)
+    want = ref[pairs[:, 0], pairs[:, 1]]
+    assert np.allclose(
+        np.nan_to_num(got, posinf=-1), np.nan_to_num(want, posinf=-1), atol=1e-8
+    )
+
+
+def test_exact_all_pairs_small():
+    g = subdivide_edges(biconnected_weighted(1, n=12, extra=6), 0.6, seed=1)
+    ro = ReducedDistanceOracle(g)
+    ref = dijkstra_apsp(g)
+    for u in range(g.n):
+        for v in range(g.n):
+            q, r = ro.query(u, v), ref[u, v]
+            assert (np.isinf(q) and np.isinf(r)) or abs(q - r) < 1e-8, (u, v)
+
+
+def test_memory_never_exceeds_full_oracle():
+    for seed in range(3):
+        g = composite_graph(seed)
+        assert (
+            ReducedDistanceOracle(g).memory_bytes()
+            <= DistanceOracle(g).memory_bytes()
+        )
+
+
+def test_memory_saves_on_chain_heavy_graphs():
+    g = subdivide_edges(biconnected_weighted(2, n=30, extra=20), 0.8, seed=2,
+                        chain_length=(2, 5))
+    ro = ReducedDistanceOracle(g)
+    assert ro.memory_bytes() < 0.5 * ro.full_matrix_bytes()
+
+
+def test_pure_cycle():
+    g = cycle_graph(10)
+    ro = ReducedDistanceOracle(g)
+    ref = dijkstra_apsp(g)
+    for u in range(10):
+        for v in range(10):
+            assert abs(ro.query(u, v) - ref[u, v]) < 1e-9
+
+
+def test_same_chain_queries():
+    # long path: every interior pair exercises the same-chain branch
+    g = path_graph(9)
+    ro = ReducedDistanceOracle(g)
+    for u in range(9):
+        for v in range(9):
+            assert ro.query(u, v) == pytest.approx(abs(u - v))
+
+
+def test_isolated_and_disconnected():
+    g = CSRGraph(5, [0, 2], [1, 3])
+    ro = ReducedDistanceOracle(g)
+    assert np.isinf(ro.query(0, 2))
+    assert np.isinf(ro.query(0, 4))
+    assert ro.query(4, 4) == 0.0

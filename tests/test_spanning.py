@@ -1,0 +1,114 @@
+"""Spanning forest structure and the E' coordinate system."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, cycle_graph, grid_graph, path_graph
+from repro.mcb import gf2, spanning_structure
+
+from _support import composite_graph
+
+
+def test_tree_edge_count():
+    g = composite_graph(0)
+    ss = spanning_structure(g)
+    c, _ = g.connected_components()
+    assert int(ss.tree_mask.sum()) == g.n - c
+    assert ss.f == g.m - g.n + c == g.cycle_space_dimension()
+
+
+def test_forest_is_acyclic_and_spanning():
+    g = composite_graph(2)
+    ss = spanning_structure(g)
+    tree = g.edge_subgraph(np.nonzero(ss.tree_mask)[0])
+    c_tree, labels_tree = tree.connected_components()
+    c_g, labels_g = g.connected_components()
+    assert c_tree == c_g  # spans every component
+    assert tree.m == tree.n - c_tree  # acyclic
+
+
+def test_parent_depth_consistency():
+    g = composite_graph(4)
+    ss = spanning_structure(g)
+    for v in range(g.n):
+        p = int(ss.parent[v])
+        if p == -1:
+            assert ss.depth[v] == 0
+        else:
+            assert ss.depth[v] == ss.depth[p] + 1
+            u, w = g.edge_endpoints(int(ss.parent_edge[v]))
+            assert {v, p} == {u, w}
+
+
+def test_self_loops_and_parallels_are_nontree(multigraph):
+    ss = spanning_structure(multigraph)
+    loops = np.nonzero(multigraph.edge_u == multigraph.edge_v)[0]
+    assert not ss.tree_mask[loops].any()
+    # of the parallel 0-1 pair, at most one can be a tree edge
+    par = [e for e in range(multigraph.m)
+           if {int(multigraph.edge_u[e]), int(multigraph.edge_v[e])} == {0, 1}]
+    assert ss.tree_mask[par].sum() <= 1
+
+
+def test_eprime_indexing_bijection():
+    g = composite_graph(0)
+    ss = spanning_structure(g)
+    assert (ss.eprime_index[ss.eprime_edges] == np.arange(ss.f)).all()
+    assert (ss.eprime_index[ss.tree_mask] == -1).all()
+
+
+def test_tree_path_edges():
+    g = path_graph(6)
+    ss = spanning_structure(g)
+    path = ss.tree_path_edges(0, 5)
+    assert len(path) == 5
+    assert ss.tree_path_edges(3, 3) == []
+
+
+def test_tree_path_cross_components_raises():
+    g = CSRGraph(4, [0, 2], [1, 3])
+    ss = spanning_structure(g)
+    with pytest.raises(ValueError):
+        ss.tree_path_edges(0, 2)
+
+
+def test_fundamental_cycle_is_cycle():
+    g = grid_graph(3, 3)
+    ss = spanning_structure(g)
+    from repro.mcb import Cycle
+
+    for i in range(ss.f):
+        eids = ss.fundamental_cycle(i)
+        cyc = Cycle(eids, float(g.edge_w[eids].sum()))
+        assert cyc.is_valid_cycle(g)
+        # contains exactly one non-tree edge: its own
+        nontree = [e for e in eids if not ss.tree_mask[e]]
+        assert nontree == [int(ss.eprime_edges[i])]
+
+
+def test_fundamental_cycle_of_loop(multigraph):
+    ss = spanning_structure(multigraph)
+    loop_eid = int(np.nonzero(multigraph.edge_u == multigraph.edge_v)[0][0])
+    i = int(ss.eprime_index[loop_eid])
+    assert list(ss.fundamental_cycle(i)) == [loop_eid]
+
+
+def test_restricted_vector_mod2():
+    g = cycle_graph(5)
+    ss = spanning_structure(g)
+    # doubled edges cancel
+    v = ss.restricted_vector(np.array([0, 0, 1]))
+    bits = gf2.unpack(v, ss.f)
+    expected = np.zeros(ss.f, dtype=bool)
+    if ss.eprime_index[1] >= 0:
+        expected[ss.eprime_index[1]] = True
+    assert np.array_equal(bits, expected)
+
+
+def test_fundamental_cycles_are_independent():
+    g = composite_graph(2)
+    ss = spanning_structure(g)
+    if ss.f == 0:
+        pytest.skip("acyclic")
+    rows = np.stack([ss.restricted_vector(ss.fundamental_cycle(i)) for i in range(ss.f)])
+    assert gf2.is_independent(rows)

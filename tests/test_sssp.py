@@ -1,0 +1,222 @@
+"""All SSSP kernels against networkx and each other."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    cycle_graph,
+    gnm_random_graph,
+    grid_graph,
+    path_graph,
+    randomize_weights,
+    to_networkx,
+)
+from repro.sssp import (
+    FrontierStats,
+    bellman_ford,
+    delta_stepping,
+    dijkstra,
+    dijkstra_tree,
+    frontier_sssp,
+    frontier_sssp_batch,
+    multi_source,
+    shortest_path,
+    spt_forest,
+    sssp,
+)
+
+from _support import composite_graph
+
+KERNELS = [dijkstra, bellman_ford, frontier_sssp, delta_stepping, sssp]
+
+
+def nx_reference(g, source):
+    G = to_networkx(g)
+    ref = np.full(g.n, np.inf)
+    for t, d in nx.single_source_dijkstra_path_length(G, source).items():
+        ref[t] = d
+    return ref
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda f: f.__name__)
+def test_kernels_match_networkx(kernel, seed):
+    g = randomize_weights(gnm_random_graph(50, 90, seed=seed, connected=(seed % 2 == 0)), seed=seed)
+    ref = nx_reference(g, 0)
+    got = kernel(g, 0)
+    assert np.allclose(
+        np.nan_to_num(got, posinf=-1), np.nan_to_num(ref, posinf=-1), atol=1e-9
+    )
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda f: f.__name__)
+def test_kernels_on_multigraph_with_loops(kernel, multigraph):
+    ref = nx_reference(multigraph, 0)
+    got = kernel(multigraph, 0)
+    assert np.allclose(got, ref)
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda f: f.__name__)
+def test_single_vertex(kernel):
+    g = CSRGraph(1, [], [])
+    assert kernel(g, 0)[0] == 0.0
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda f: f.__name__)
+def test_unreachable_is_inf(kernel):
+    g = CSRGraph(3, [0], [1])
+    d = kernel(g, 0)
+    assert np.isinf(d[2]) and d[1] == 1.0
+
+
+@pytest.mark.parametrize("kernel", [dijkstra, bellman_ford, frontier_sssp, sssp])
+def test_zero_weight_edges(kernel):
+    g = CSRGraph(3, [0, 1], [1, 2], [0.0, 2.0])
+    d = kernel(g, 0)
+    # the compiled engine nudges explicit zeros to 1e-300 (documented)
+    assert d[1] == pytest.approx(0.0, abs=1e-12) and d[2] == pytest.approx(2.0)
+
+
+def test_dijkstra_early_exit():
+    g = path_graph(100)
+    d = dijkstra(g, 0, target=3)
+    assert d[3] == 3.0  # exact up to the target
+
+
+def test_dijkstra_tree_parents_consistent():
+    g = randomize_weights(grid_graph(5, 5), seed=1)
+    dist, parent, pedge = dijkstra_tree(g, 0)
+    for v in range(1, g.n):
+        p = int(parent[v])
+        assert p >= 0
+        u, w = g.edge_endpoints(int(pedge[v]))
+        assert {v, p} == {u, w}
+        assert np.isclose(dist[v], dist[p] + g.edge_w[pedge[v]])
+
+
+def test_shortest_path_recovery():
+    g = path_graph(6)
+    d, path = shortest_path(g, 0, 5)
+    assert d == 5.0 and path == [0, 1, 2, 3, 4, 5]
+
+
+def test_shortest_path_unreachable():
+    g = CSRGraph(3, [0], [1])
+    d, path = shortest_path(g, 0, 2)
+    assert np.isinf(d) and path == []
+
+
+def test_frontier_stats_counters():
+    g = grid_graph(10, 10)
+    st = FrontierStats()
+    frontier_sssp(g, 0, stats=st)
+    assert st.launches > 0
+    assert st.edges_relaxed > 0
+    assert st.frontier_total >= g.n  # every vertex enters the frontier once+
+    st2 = FrontierStats()
+    st2.merge(st)
+    assert st2.launches == st.launches
+
+
+def test_frontier_batch_rows_match_single():
+    g = randomize_weights(grid_graph(6, 6), seed=2)
+    sources = np.array([0, 7, 35])
+    batch = frontier_sssp_batch(g, sources)
+    for i, s in enumerate(sources):
+        assert np.allclose(batch[i], frontier_sssp(g, int(s)))
+
+
+def test_multi_source_shape_and_rows():
+    g = randomize_weights(grid_graph(4, 4), seed=3)
+    src = np.array([3, 0])
+    mat = multi_source(g, src)
+    assert mat.shape == (2, g.n)
+    assert np.allclose(mat[0], dijkstra(g, 3))
+    assert np.allclose(mat[1], dijkstra(g, 0))
+
+
+def test_multi_source_empty_inputs():
+    assert multi_source(CSRGraph(3, [0], [1]), np.array([], dtype=int)).shape == (0, 3)
+    assert multi_source(CSRGraph(0, [], []), np.array([], dtype=int)).shape == (0, 0)
+
+
+def test_spt_forest_distances():
+    g = composite_graph(0)
+    src = np.arange(0, g.n, 7)
+    dist, pred = spt_forest(g, src)
+    for i, s in enumerate(src):
+        assert np.allclose(
+            np.nan_to_num(dist[i], posinf=-1),
+            np.nan_to_num(dijkstra(g, int(s)), posinf=-1),
+            atol=1e-9,
+        )
+        assert pred[i, s] < 0  # roots have the sentinel
+
+
+def test_delta_stepping_delta_values():
+    g = randomize_weights(grid_graph(5, 5), seed=4)
+    ref = dijkstra(g, 0)
+    for delta in (0.1, 0.5, 2.0, 100.0):
+        assert np.allclose(delta_stepping(g, 0, delta=delta), ref)
+
+
+def test_bellman_ford_round_cap():
+    g = path_graph(10)
+    # one round is not enough to settle the far end
+    partial = bellman_ford(g, 0, max_rounds=1)
+    assert partial[1] == 1.0
+    full = bellman_ford(g, 0)
+    assert full[9] == 9.0
+
+
+def test_cycle_goes_both_ways():
+    g = cycle_graph(10)
+    d = dijkstra(g, 0)
+    assert d[5] == 5.0 and d[9] == 1.0
+
+
+class TestBidirectional:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_dijkstra(self, seed):
+        from repro.sssp import bidirectional_dijkstra
+
+        g = randomize_weights(
+            gnm_random_graph(60, 110, seed=seed, connected=(seed % 2 == 0)), seed=seed
+        )
+        rng = np.random.default_rng(seed)
+        ref_cache = {}
+        for _ in range(25):
+            s, t = map(int, rng.integers(0, g.n, 2))
+            if s not in ref_cache:
+                ref_cache[s] = dijkstra(g, s)
+            d, path = bidirectional_dijkstra(g, s, t)
+            r = ref_cache[s][t]
+            if np.isinf(r):
+                assert np.isinf(d) and path == []
+                continue
+            assert d == pytest.approx(r, abs=1e-9)
+            assert path[0] == s and path[-1] == t
+            total = sum(g.edge_weight(a, b) for a, b in zip(path[:-1], path[1:]))
+            assert total == pytest.approx(d, abs=1e-9)
+
+    def test_identity(self):
+        from repro.sssp import bidirectional_dijkstra
+
+        g = grid_graph(3, 3)
+        assert bidirectional_dijkstra(g, 4, 4) == (0.0, [4])
+
+    def test_adjacent(self):
+        from repro.sssp import bidirectional_dijkstra
+
+        g = path_graph(4)
+        d, path = bidirectional_dijkstra(g, 1, 2)
+        assert d == 1.0 and path == [1, 2]
+
+    def test_disconnected(self):
+        from repro.sssp import bidirectional_dijkstra
+
+        g = CSRGraph(4, [0, 2], [1, 3])
+        d, path = bidirectional_dijkstra(g, 0, 3)
+        assert np.isinf(d) and path == []
