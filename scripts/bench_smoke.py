@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Smoke benchmark: engine caching/chunking + parallel backend + paper rows.
+
+Runs in well under a minute and writes ``BENCH_BASELINE.json`` at the repo
+root, giving every change to the bulk-SSSP engine a before/after anchor:
+
+* ``repeated_sssp`` — the workload the adjacency cache + chunked dispatch
+  target: many SSSPs on one graph.  ``uncached_per_source`` rebuilds the
+  scipy adjacency for every source (the pre-cache behaviour);
+  ``cached_chunked`` is one ``multi_source`` call through the cache.
+* ``parallel`` — process-pool APSP vs the serial engine on the same graph,
+  with the host core count recorded (on a single-core host the pool cannot
+  win; the number is recorded honestly, not asserted).
+* ``fig2`` / ``table2`` — tiny-scale rows of the two headline paper
+  benchmarks, correctness-checked by the harness itself.
+
+Usage: ``PYTHONPATH=src python scripts/bench_smoke.py [--scale 0.02]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _time(fn, repeat: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_repeated_sssp(scale: float) -> dict:
+    from repro import datasets
+    from repro.sssp import engine
+
+    g = datasets.load("as-22july06", scale)
+    sources = np.arange(min(g.n, 256), dtype=np.int64)
+
+    def uncached() -> None:
+        for s in sources:
+            engine.sssp(g, int(s), cache=False)
+
+    def cached_chunked() -> None:
+        engine.multi_source(g, sources)
+
+    engine.adjacency_cache().clear()
+    t_uncached = _time(uncached, repeat=1)
+    t_cached = _time(cached_chunked)
+    info = engine.adjacency_cache().info()
+    return {
+        "graph": {"name": "as-22july06", "n": g.n, "m": g.m},
+        "sources": int(sources.size),
+        "uncached_per_source_s": t_uncached,
+        "cached_chunked_s": t_cached,
+        "speedup": t_uncached / t_cached if t_cached else float("inf"),
+        "cache": {"hits": info.hits, "misses": info.misses},
+    }
+
+
+def bench_parallel(scale: float) -> dict:
+    from repro import datasets
+    from repro.hetero.parallel import ParallelEngine, resolve_workers
+    from repro.sssp import engine
+
+    g = datasets.load("OPF_3754", scale)
+    t_serial = _time(lambda: engine.all_pairs(g))
+    with ParallelEngine(g, workers=2) as eng:
+        live = eng.is_parallel
+        t_parallel = _time(eng.all_pairs)
+        parity = bool(np.array_equal(eng.all_pairs(), engine.all_pairs(g)))
+    return {
+        "graph": {"name": "OPF_3754", "n": g.n, "m": g.m},
+        "host_cores": resolve_workers(None),
+        "pool_workers": 2,
+        "pool_live": live,
+        "serial_s": t_serial,
+        "parallel_s": t_parallel,
+        "speedup": t_serial / t_parallel if t_parallel else float("inf"),
+        "bit_identical": parity,
+    }
+
+
+def bench_fig2(scale: float) -> list[dict]:
+    from repro.bench import run_fig2
+
+    rows = run_fig2(scale=scale, names=["nopoly", "OPF_3754"])
+    return [
+        {
+            "name": r.name,
+            "n": r.n,
+            "m": r.m,
+            "t_ours_s": r.t_ours,
+            "t_baseline_s": r.t_baseline,
+            "baseline": r.baseline,
+            "speedup": r.speedup,
+        }
+        for r in rows
+    ]
+
+
+def bench_table2(scale: float) -> list[dict]:
+    from repro.bench import run_table2
+
+    rows = run_table2(scale=scale, names=["nopoly", "OPF_3754"])
+    return [
+        {
+            "name": r.name,
+            "n": r.n,
+            "m": r.m,
+            "f": r.f,
+            "wall_with_ear_s": r.wall_with_ear,
+            "wall_without_ear_s": r.wall_without_ear,
+            "virtual_speedup_cpu_gpu": (
+                r.seconds["sequential"][0] / r.seconds["cpu+gpu"][0]
+                if r.seconds["cpu+gpu"][0]
+                else float("inf")
+            ),
+        }
+        for r in rows
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument(
+        "--out", type=Path, default=ROOT / "BENCH_BASELINE.json"
+    )
+    args = parser.parse_args()
+
+    baseline = {
+        "scale": args.scale,
+        "chunk_size": os.environ.get("REPRO_SSSP_CHUNK", "32 (default)"),
+        "repeated_sssp": bench_repeated_sssp(args.scale),
+        "parallel": bench_parallel(args.scale),
+        "fig2": bench_fig2(args.scale),
+        "table2": bench_table2(args.scale),
+    }
+    args.out.write_text(json.dumps(baseline, indent=2) + "\n")
+    rs = baseline["repeated_sssp"]
+    pl = baseline["parallel"]
+    print(f"wrote {args.out}")
+    print(
+        f"repeated-sssp: uncached {rs['uncached_per_source_s']:.3f}s "
+        f"vs cached+chunked {rs['cached_chunked_s']:.3f}s "
+        f"({rs['speedup']:.1f}x)"
+    )
+    print(
+        f"parallel apsp: serial {pl['serial_s']:.3f}s vs 2-proc "
+        f"{pl['parallel_s']:.3f}s ({pl['speedup']:.2f}x on "
+        f"{pl['host_cores']} core(s))"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,7 @@ import scipy.sparse.csgraph as csgraph
 
 from ..decomposition.biconnected import BCCDecomposition, biconnected_components
 from ..graph.csr import CSRGraph
+from ..sssp.engine import ZERO_WEIGHT_NUDGE
 from .ear_apsp import solve_component
 
 Solver = Callable[[CSRGraph], np.ndarray]
@@ -82,14 +83,23 @@ def build_component_tables(
     g: CSRGraph,
     solver: Solver | None = None,
     bcc: BCCDecomposition | None = None,
+    engine: str = "scipy",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> ComponentTables:
     """Solve every biconnected component and close distances over the APs.
 
     ``solver`` maps a component subgraph to its exact distance matrix; it
-    defaults to the ear-reduced Algorithm 1 (:func:`solve_component`).
+    defaults to the ear-reduced Algorithm 1 (:func:`solve_component`) with
+    the given ``engine``/``chunk_size``/``workers`` forwarded to its
+    Phase-II bulk-SSSP dispatch.  An explicit ``solver`` wins over those
+    knobs.
     """
     if solver is None:
-        solver = solve_component
+        def solver(sub: CSRGraph) -> np.ndarray:
+            return solve_component(
+                sub, engine=engine, chunk_size=chunk_size, workers=workers
+            )
     if bcc is None:
         bcc = biconnected_components(g)
     t0 = time.perf_counter()
@@ -124,7 +134,7 @@ def build_component_tables(
                     if not np.isfinite(w):
                         continue
                     key = (min(gi, gj), max(gi, gj))
-                    w = max(w, 1e-300)
+                    w = max(w, ZERO_WEIGHT_NUDGE)
                     if key not in best or w < best[key]:
                         best[key] = w
         if best:

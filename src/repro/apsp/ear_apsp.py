@@ -117,18 +117,29 @@ def ear_apsp_full(
     g: CSRGraph,
     engine: str = "scipy",
     report: EarAPSPReport | None = None,
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> np.ndarray:
     """Algorithm 1 on the whole graph: full exact ``n × n`` matrix.
 
-    ``engine`` selects the Phase-II SSSP implementation ("scipy" bulk or
-    "python" per-source heaps).  Pass a :class:`EarAPSPReport` to collect
-    phase timings and reduction statistics.
+    ``engine`` selects the Phase-II SSSP implementation: ``"scipy"``
+    (cached + chunked bulk dispatch, the default), ``"python"`` (per-source
+    heaps), or ``"parallel"`` (the process-parallel backend of
+    :mod:`repro.hetero.parallel` — ``workers`` processes fan out
+    ``chunk_size``-source chunks over shared-memory CSR buffers).  Pass a
+    :class:`EarAPSPReport` to collect phase timings and reduction
+    statistics.
     """
     t0 = time.perf_counter()
     red = reduce_graph(g)
     t1 = time.perf_counter()
     simple = red.simple_graph()
-    s_r = dijkstra_apsp(simple, engine=engine) if engine != "scipy" else all_pairs(simple)
+    if engine == "scipy":
+        s_r = all_pairs(simple, chunk_size=chunk_size)
+    else:
+        s_r = dijkstra_apsp(
+            simple, engine=engine, chunk_size=chunk_size, workers=workers
+        )
     t2 = time.perf_counter()
     out = extend_reduced_distances(red, s_r)
     t3 = time.perf_counter()
@@ -142,11 +153,16 @@ def ear_apsp_full(
     return out
 
 
-def solve_component(sub: CSRGraph, engine: str = "scipy") -> np.ndarray:
+def solve_component(
+    sub: CSRGraph,
+    engine: str = "scipy",
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> np.ndarray:
     """Per-biconnected-component solver used by the composed pipeline.
 
     This is exactly :func:`ear_apsp_full` — named separately so that the
     composition layer (:mod:`repro.apsp.composition`) can swap in the
     Banerjee-style undecomposed solver for the baseline comparison.
     """
-    return ear_apsp_full(sub, engine=engine)
+    return ear_apsp_full(sub, engine=engine, chunk_size=chunk_size, workers=workers)

@@ -30,10 +30,24 @@ __all__ = ["DistanceOracle", "memory_model"]
 class DistanceOracle:
     """Exact all-pairs distance oracle with the paper's memory footprint."""
 
-    def __init__(self, g: CSRGraph, solver: Solver | None = None) -> None:
+    def __init__(
+        self,
+        g: CSRGraph,
+        solver: Solver | None = None,
+        engine: str = "scipy",
+        chunk_size: int | None = None,
+        workers: int | None = None,
+    ) -> None:
         self.graph = g
         bcc = biconnected_components(g)
-        self.tables = build_component_tables(g, solver=solver, bcc=bcc)
+        self.tables = build_component_tables(
+            g,
+            solver=solver,
+            bcc=bcc,
+            engine=engine,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
         self.tree = BlockCutTree(g, bcc)
         # Local index of each vertex inside each of its components.
         self._local = self.tables.vertex_local

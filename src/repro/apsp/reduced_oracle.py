@@ -23,7 +23,7 @@ from ..decomposition.biconnected import biconnected_components
 from ..decomposition.block_cut_tree import BlockCutTree
 from ..decomposition.reduce import ReducedGraph, reduce_graph
 from ..graph.csr import CSRGraph
-from ..sssp.engine import all_pairs
+from ..sssp.engine import ZERO_WEIGHT_NUDGE, all_pairs
 
 __all__ = ["ReducedDistanceOracle"]
 
@@ -88,7 +88,7 @@ class _ComponentStore:
 class ReducedDistanceOracle:
     """Exact APSP oracle over reduced per-component tables."""
 
-    def __init__(self, g: CSRGraph) -> None:
+    def __init__(self, g: CSRGraph, chunk_size: int | None = None) -> None:
         self.graph = g
         bcc = biconnected_components(g)
         self.tree = BlockCutTree(g, bcc)
@@ -98,7 +98,7 @@ class ReducedDistanceOracle:
         for cid in range(bcc.count):
             sub, vmap = bcc.component_subgraph(g, cid)
             red = reduce_graph(sub, keep=bcc.component_keep_mask(g, cid))
-            table = all_pairs(red.simple_graph())
+            table = all_pairs(red.simple_graph(), chunk_size=chunk_size)
             self.stores.append(_ComponentStore(red, table, vmap))
             for v in vmap:
                 self._memberships.setdefault(int(v), []).append(cid)
@@ -124,7 +124,7 @@ class ReducedDistanceOracle:
                         if not np.isfinite(w):
                             continue
                         key = (min(gi, gj), max(gi, gj))
-                        w = max(w, 1e-300)
+                        w = max(w, ZERO_WEIGHT_NUDGE)
                         if key not in best or w < best[key]:
                             best[key] = w
             if best:

@@ -18,6 +18,7 @@ by ear decomposition (Section 3.3.1 of the paper) require both.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -61,6 +62,7 @@ class CSRGraph:
         "weights",
         "csr_eid",
         "_degree",
+        "_fingerprint",
     )
 
     def __init__(
@@ -124,6 +126,7 @@ class CSRGraph:
         if m and loop.any():
             deg += np.bincount(eu[loop], minlength=n)
         self._degree = deg
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -153,6 +156,24 @@ class CSRGraph:
     # ------------------------------------------------------------------ #
     # Basic accessors
     # ------------------------------------------------------------------ #
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of ``(n, edge_u, edge_v, edge_w)``, computed lazily.
+
+        Graphs are frozen after construction, so the digest is a stable
+        identity for derived-artifact caches (e.g. the bulk-SSSP engine's
+        scipy adjacency cache) that survives distinct ``CSRGraph`` objects
+        holding the same edge multiset in the same order.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.int64(self.n).tobytes())
+            h.update(self.edge_u.tobytes())
+            h.update(self.edge_v.tobytes())
+            h.update(self.edge_w.tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     @property
     def degree(self) -> np.ndarray:

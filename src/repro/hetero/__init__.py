@@ -12,11 +12,20 @@ from .device import (
     Device,
     GPU_EFFECTIVE_BW,
     cpu_device,
+    local_cpu_device,
     sequential_device,
 )
 from .executor import HeterogeneousExecutor, Platform, StageReport
 from .live_runner import LiveMCBResult, live_hetero_mcb
 from .mcb_runner import HeteroMCBResult, mcb_with_trace, run_mcb_on_platforms
+from .parallel import (
+    ParallelEngine,
+    SharedCSRBuffers,
+    parallel_all_pairs,
+    parallel_multi_source,
+    parallel_spt_forest,
+    resolve_workers,
+)
 from .simt import SIMTDevice, gpu_device
 from .timing import ClockSample, VirtualClock
 from .trace import SimulationResult, Stage, WorkTrace, simulate_trace
@@ -31,7 +40,14 @@ __all__ = [
     "Device",
     "GPU_EFFECTIVE_BW",
     "cpu_device",
+    "local_cpu_device",
     "sequential_device",
+    "ParallelEngine",
+    "SharedCSRBuffers",
+    "parallel_all_pairs",
+    "parallel_multi_source",
+    "parallel_spt_forest",
+    "resolve_workers",
     "HeterogeneousExecutor",
     "Platform",
     "StageReport",

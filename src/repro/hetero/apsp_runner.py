@@ -20,7 +20,7 @@ from ..apsp.composition import assemble_full_matrix, build_component_tables
 from ..apsp.ear_apsp import extend_reduced_distances
 from ..decomposition.reduce import reduce_graph
 from ..graph.csr import CSRGraph
-from ..sssp.engine import multi_source
+from ..sssp.engine import multi_source, resolve_chunk_size
 from .executor import Platform
 from .trace import SimulationResult, WorkTrace, simulate_trace
 
@@ -31,9 +31,26 @@ BYTES_POSTPROCESS_PER_ENTRY = 24.0
 BYTES_REDUCE_PER_EDGE = 24.0
 
 
-def apsp_with_trace(g: CSRGraph, use_ear: bool = True) -> tuple[np.ndarray, WorkTrace]:
+def _record_dijkstra(trace: WorkTrace, n: int, m: int, chunk: int) -> None:
+    """One trace unit per batched dispatch of ``chunk`` Dijkstra sources.
+
+    Batching amortises the per-call dispatch cost, so a chunk — not a
+    single source — is the atomic grab on a device queue.  Each unit is
+    still marked divisible: the sources inside a chunk are independent,
+    so a device with internal lanes (the GPU model) can split it.
+    """
+    stage = trace.new_stage("dijkstra", divisible=True)
+    for lo in range(0, n, chunk):
+        k = min(chunk, n - lo)
+        stage.add(k * max(m, 1) * BYTES_DIJKSTRA_PER_EDGE, k * n)
+
+
+def apsp_with_trace(
+    g: CSRGraph, use_ear: bool = True, chunk_size: int | None = None
+) -> tuple[np.ndarray, WorkTrace]:
     """Full APSP matrix plus the recorded heterogeneous work trace."""
-    trace = WorkTrace(meta={"n": g.n, "m": g.m, "use_ear": use_ear})
+    chunk = resolve_chunk_size(chunk_size)
+    trace = WorkTrace(meta={"n": g.n, "m": g.m, "use_ear": use_ear, "chunk": chunk})
     from ..decomposition.biconnected import biconnected_components
 
     bcc = biconnected_components(g)
@@ -44,19 +61,15 @@ def apsp_with_trace(g: CSRGraph, use_ear: bool = True) -> tuple[np.ndarray, Work
             red = reduce_graph(sub)
             trace.new_stage("reduce").add(sub.m * BYTES_REDUCE_PER_EDGE, sub.m)
             simple = red.simple_graph()
-            stage = trace.new_stage("dijkstra")
-            for _ in range(simple.n):
-                stage.add(max(simple.m, 1) * BYTES_DIJKSTRA_PER_EDGE, simple.n)
-            s_r = multi_source(simple, np.arange(simple.n))
+            _record_dijkstra(trace, simple.n, simple.m, chunk)
+            s_r = multi_source(simple, np.arange(simple.n), chunk_size=chunk)
             full = extend_reduced_distances(red, s_r)
             trace.new_stage("postprocess", divisible=True).add(
                 sub.n * sub.n * BYTES_POSTPROCESS_PER_ENTRY, sub.n * sub.n
             )
             return full
-        stage = trace.new_stage("dijkstra")
-        for _ in range(sub.n):
-            stage.add(max(sub.m, 1) * BYTES_DIJKSTRA_PER_EDGE, sub.n)
-        return multi_source(sub, np.arange(sub.n))
+        _record_dijkstra(trace, sub.n, sub.m, chunk)
+        return multi_source(sub, np.arange(sub.n), chunk_size=chunk)
 
     ct = build_component_tables(g, solver=traced_solver, bcc=bcc)
     mat = assemble_full_matrix(g, ct)
@@ -88,6 +101,7 @@ def run_apsp_on_platforms(
     g: CSRGraph,
     use_ear: bool = True,
     platforms: list[Platform] | None = None,
+    chunk_size: int | None = None,
 ) -> HeteroAPSPResult:
     """Execute once, replay the trace on every platform."""
     if platforms is None:
@@ -97,6 +111,6 @@ def run_apsp_on_platforms(
             Platform.gpu(),
             Platform.heterogeneous(),
         ]
-    matrix, trace = apsp_with_trace(g, use_ear=use_ear)
+    matrix, trace = apsp_with_trace(g, use_ear=use_ear, chunk_size=chunk_size)
     timings = {p.name: simulate_trace(trace, p) for p in platforms}
     return HeteroAPSPResult(matrix=matrix, trace=trace, timings=timings)

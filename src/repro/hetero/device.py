@@ -15,12 +15,20 @@ uncoalesced access.  The default constants model the paper's platform
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable
 
 from .timing import VirtualClock
 from .workqueue import WorkUnit
 
-__all__ = ["Device", "CPUDevice", "cpu_device", "sequential_device"]
+__all__ = [
+    "Device",
+    "CPUDevice",
+    "cpu_device",
+    "sequential_device",
+    "local_cpu_device",
+]
 
 
 @dataclass
@@ -43,6 +51,13 @@ class Device:
     takes_from_back:
         True for the GPU end of the double-ended queue (it starts with
         the *biggest* units).
+    pool:
+        Optional *real* execution backend: a callable mapping a list of
+        zero-argument thunks to their results.  When set, a batch's work
+        units run concurrently on the host (e.g. a thread pool — the scipy
+        and numpy kernels release the GIL) while the virtual clock still
+        charges the modeled cost.  ``None`` keeps the default in-process
+        sequential execution of the virtual-time devices.
     """
 
     name: str
@@ -51,6 +66,7 @@ class Device:
     batch_size: int = 1
     takes_from_back: bool = False
     clock: VirtualClock = field(default_factory=VirtualClock)
+    pool: Callable[[list], list] | None = None
 
     def cost(self, units: list[WorkUnit]) -> float:
         """Modeled seconds to execute ``units`` as one batch."""
@@ -59,7 +75,10 @@ class Device:
 
     def execute(self, units: list[WorkUnit]) -> list:
         """Run the batch for real, charge the modeled cost. Returns results."""
-        results = [u.run() for u in units]
+        if self.pool is not None and len(units) > 1:
+            results = self.pool([u.run for u in units])
+        else:
+            results = [u.run() for u in units]
         self.clock.advance(self.cost(units), label=units[0].label if units else "")
         return results
 
@@ -110,6 +129,34 @@ def cpu_device(n_threads: int = 40) -> Device:
         batch_size=max(1, n_threads // 8),
         takes_from_back=False,
     )
+
+
+def local_cpu_device(n_workers: int | None = None) -> Device:
+    """A CPU device whose batches *really* run concurrently on this host.
+
+    Work units in a batch are dispatched to a thread pool (the compiled
+    scipy/numpy kernels release the GIL, so threads give genuine overlap
+    without the pickling constraints of processes; the process-parallel
+    bulk-SSSP backend lives in :mod:`repro.hetero.parallel`).  Virtual-time
+    accounting is unchanged — the clock still charges the bandwidth model —
+    so traces replayed through this device stay comparable with the purely
+    simulated ones.
+    """
+    if n_workers is None:
+        from .parallel import resolve_workers
+
+        n_workers = resolve_workers()
+    n_workers = max(1, int(n_workers))
+    executor = ThreadPoolExecutor(max_workers=n_workers)
+
+    def pool_map(thunks: list) -> list:
+        return list(executor.map(lambda f: f(), thunks))
+
+    dev = cpu_device(n_threads=n_workers)
+    dev.name = "cpu-local"
+    dev.pool = pool_map
+    dev.batch_size = max(1, n_workers)
+    return dev
 
 
 class CPUDevice(Device):

@@ -83,7 +83,7 @@ def live_hetero_mcb(
         n_solve = ctx.n
         words = gf2.n_words(ctx.f)
         store = ctx.new_store()
-        witnesses = np.stack([gf2.unit(ctx.f, i) for i in range(ctx.f)])
+        witnesses = gf2.identity(ctx.f)
         for i in range(ctx.f):
             s_pad = ctx.witness_edge_bits(witnesses[i])
             labels = ctx.compute_labels(s_pad, parallel_map=label_map)

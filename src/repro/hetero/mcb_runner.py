@@ -101,9 +101,7 @@ def _mm_traced(
         spt_stage.add(max(g.m, 1) * BYTES_SPT_PER_EDGE, n)
 
     store = ctx.new_store()
-    witnesses = np.zeros((f, words), dtype=np.uint64)
-    for i in range(f):
-        witnesses[i] = gf2.unit(f, i)
+    witnesses = gf2.identity(f)
 
     cycles: list[Cycle] = []
     for i in range(f):

@@ -1,0 +1,315 @@
+"""True process-parallel CPU backend for the bulk-SSSP engine.
+
+The virtual-time devices of :mod:`repro.hetero.device` *model* the paper's
+platform; this module adds a backend that is genuinely parallel on the
+host: source chunks of a multi-source Dijkstra fan out over a
+``multiprocessing`` worker pool, and the scipy CSR adjacency buffers
+(``data`` / ``indices`` / ``indptr``) are placed in POSIX shared memory so
+workers attach to them **zero-copy and pickle-free** — only the small
+per-chunk source arrays and the per-chunk result rows cross process
+boundaries.
+
+The backend degrades gracefully: with ``workers <= 1``, an empty graph, or
+a pool that cannot be created (restricted sandboxes), every call runs
+through the serial :mod:`repro.sssp.engine` path and returns bit-identical
+results.  ``REPRO_WORKERS`` selects the default worker count.
+
+This is the process arm of the execution-backend seam (serial scipy /
+thread device / process pool / virtual GPU) the multi-backend roadmap
+builds on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import warnings
+from multiprocessing import shared_memory
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from ..graph.csr import CSRGraph
+from ..sssp import engine as _engine
+
+__all__ = [
+    "resolve_workers",
+    "SharedCSRBuffers",
+    "ParallelEngine",
+    "parallel_multi_source",
+    "parallel_all_pairs",
+    "parallel_spt_forest",
+]
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: explicit argument > ``REPRO_WORKERS`` > cores.
+
+    Values below 2 mean "serial" (no pool is created at all).
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS")
+        if env is not None:
+            workers = int(env)
+        else:
+            try:
+                workers = len(os.sched_getaffinity(0))
+            except AttributeError:  # pragma: no cover - non-Linux
+                workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+class SharedCSRBuffers:
+    """A scipy CSR matrix exported into named shared-memory segments.
+
+    The parent process owns the segments (creates and unlinks them);
+    workers attach by name through :meth:`attach` and wrap the raw buffers
+    in a ``csr_matrix`` without copying.
+    """
+
+    _FIELDS = ("data", "indices", "indptr")
+
+    def __init__(self, mat: sp.csr_matrix) -> None:
+        self.shape = mat.shape
+        self._shms: list[shared_memory.SharedMemory] = []
+        self.spec: dict = {"shape": mat.shape, "fields": {}}
+        for name in self._FIELDS:
+            arr = np.ascontiguousarray(getattr(mat, name))
+            shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[:] = arr
+            self._shms.append(shm)
+            self.spec["fields"][name] = (shm.name, arr.shape, arr.dtype.str)
+
+    @staticmethod
+    def attach(
+        spec: dict, untrack: bool = False
+    ) -> tuple[sp.csr_matrix, list[shared_memory.SharedMemory]]:
+        """Rebuild the matrix over the named segments (zero-copy).
+
+        Returns the matrix plus the segment handles, which the caller must
+        keep alive for as long as the matrix is used.  ``untrack=True``
+        removes the segments from the attaching process's resource tracker
+        and is only for *independently launched* attachers, whose private
+        tracker would otherwise destroy the parent-owned segments at exit.
+        Pool workers — fork and spawn alike — inherit the parent's tracker
+        fd and must leave the registration alone (it is the parent's).
+        """
+        arrays = {}
+        shms = []
+        for name, (shm_name, shape, dtype) in spec["fields"].items():
+            shm = shared_memory.SharedMemory(name=shm_name)
+            if untrack:
+                _untrack(shm)
+            shms.append(shm)
+            arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        mat = sp.csr_matrix(
+            (arrays["data"], arrays["indices"], arrays["indptr"]),
+            shape=spec["shape"],
+            copy=False,
+        )
+        return mat, shms
+
+    def close(self) -> None:
+        """Release and unlink the segments (parent side, idempotent)."""
+        for shm in self._shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._shms = []
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Drop a segment from this process's resource tracker.
+
+    Attachers must not unlink segments they did not create; an
+    independently launched attacher uses this so its tracker does not try
+    to destroy (and warn about) the parent-owned segments at exit.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - tracker internals shifted
+        pass
+
+
+# ------------------------------------------------------------------ #
+# Worker-process side
+# ------------------------------------------------------------------ #
+
+_worker_mat: sp.csr_matrix | None = None
+_worker_shms: list[shared_memory.SharedMemory] = []
+
+
+def _worker_init(spec: dict) -> None:
+    global _worker_mat, _worker_shms
+    _worker_mat, _worker_shms = SharedCSRBuffers.attach(spec)
+
+
+def _worker_dijkstra(task: tuple[np.ndarray, bool]):
+    sources, want_pred = task
+    out = csgraph.dijkstra(
+        _worker_mat, directed=False, indices=sources, return_predecessors=want_pred
+    )
+    if want_pred:
+        dist, pred = out
+        return np.asarray(dist, dtype=np.float64), np.asarray(pred, dtype=np.int64)
+    return np.asarray(out, dtype=np.float64)
+
+
+# ------------------------------------------------------------------ #
+# Parent-process engine
+# ------------------------------------------------------------------ #
+
+
+class ParallelEngine:
+    """Multi-source Dijkstra fanned out over a process pool.
+
+    Construction pins the graph: its scipy adjacency is built once (via the
+    engine's fingerprint cache), exported to shared memory, and a pool of
+    ``workers`` processes attaches to it.  Subsequent calls only ship
+    source chunks and receive distance rows.  Use as a context manager, or
+    call :meth:`close` explicitly, to tear the pool and segments down.
+
+    With fewer than 2 effective workers the engine is a thin façade over
+    the serial :mod:`repro.sssp.engine` — same results, no processes.
+    """
+
+    def __init__(
+        self,
+        g: CSRGraph,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self.graph = g
+        self.workers = resolve_workers(workers)
+        self.chunk_size = _engine.resolve_chunk_size(chunk_size)
+        self._pool = None
+        self._buffers: SharedCSRBuffers | None = None
+        if self.workers < 2 or g.n == 0:
+            return
+        try:
+            mat = _engine.adjacency_cache().get(g)
+            self._buffers = SharedCSRBuffers(mat)
+            methods = mp.get_all_start_methods()
+            method = start_method or ("fork" if "fork" in methods else methods[0])
+            ctx = mp.get_context(method)
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(self._buffers.spec,),
+            )
+        except (OSError, ValueError) as exc:  # restricted sandbox / no shm
+            warnings.warn(
+                f"ParallelEngine falling back to serial execution: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if self._buffers is not None:
+                self._buffers.close()
+                self._buffers = None
+            self._pool = None
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when a live worker pool backs this engine."""
+        return self._pool is not None
+
+    def _chunks(self, sources: np.ndarray) -> list[np.ndarray]:
+        return [
+            sources[lo : lo + self.chunk_size]
+            for lo in range(0, len(sources), self.chunk_size)
+        ]
+
+    def multi_source(self, sources: np.ndarray) -> np.ndarray:
+        """Distance matrix ``(len(sources), n)`` — bit-identical to the
+        serial engine for any worker count or chunking."""
+        sources = np.asarray(sources, dtype=np.int64)
+        if self._pool is None or len(sources) == 0:
+            return _engine.multi_source(self.graph, sources, self.chunk_size)
+        rows = self._pool.map(
+            _worker_dijkstra, [(c, False) for c in self._chunks(sources)]
+        )
+        return np.vstack(rows)
+
+    def all_pairs(self) -> np.ndarray:
+        """Full ``n × n`` matrix (one Dijkstra per vertex, chunk-parallel)."""
+        return self.multi_source(np.arange(self.graph.n, dtype=np.int64))
+
+    def spt_forest(self, sources: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(dist, parent)`` forests, same contract as the serial engine."""
+        sources = np.asarray(sources, dtype=np.int64)
+        if self._pool is None or len(sources) == 0:
+            return _engine.spt_forest(self.graph, sources, self.chunk_size)
+        parts = self._pool.map(
+            _worker_dijkstra, [(c, True) for c in self._chunks(sources)]
+        )
+        dist = np.vstack([d for d, _ in parts])
+        pred = np.vstack([p for _, p in parts])
+        return dist, pred
+
+    # -------------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Terminate the pool and release the shared segments (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        if self._buffers is not None:
+            self._buffers.close()
+            self._buffers = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ------------------------------------------------------------------ #
+# One-shot conveniences
+# ------------------------------------------------------------------ #
+
+
+def parallel_multi_source(
+    g: CSRGraph,
+    sources: np.ndarray,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """One-shot :meth:`ParallelEngine.multi_source` (pool torn down after)."""
+    with ParallelEngine(g, workers=workers, chunk_size=chunk_size) as eng:
+        return eng.multi_source(sources)
+
+
+def parallel_all_pairs(
+    g: CSRGraph, workers: int | None = None, chunk_size: int | None = None
+) -> np.ndarray:
+    """One-shot parallel APSP over all vertices."""
+    with ParallelEngine(g, workers=workers, chunk_size=chunk_size) as eng:
+        return eng.all_pairs()
+
+
+def parallel_spt_forest(
+    g: CSRGraph,
+    sources: np.ndarray,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-shot parallel shortest-path forests."""
+    with ParallelEngine(g, workers=workers, chunk_size=chunk_size) as eng:
+        return eng.spt_forest(sources)

@@ -63,10 +63,7 @@ def depina_mcb(
         raise ValueError(f"unknown roots mode {roots!r}")
 
     # Witness matrix: row i is S_i, initialised to the standard basis.
-    words = gf2.n_words(f)
-    witnesses = np.zeros((f, words), dtype=np.uint64)
-    for i in range(f):
-        witnesses[i] = gf2.unit(f, i)
+    witnesses = gf2.identity(f)
 
     cycles: list[Cycle] = []
     for i in range(f):
@@ -80,9 +77,8 @@ def depina_mcb(
         c_vec = ss.restricted_vector(cyc.edge_ids)
         assert gf2.dot(c_vec, witnesses[i]) == 1, "selected cycle not odd"
         if i + 1 < f:
-            rest = witnesses[i + 1 :]
-            odd = gf2.dot_many(rest, c_vec).astype(bool)
-            rest[odd] ^= witnesses[i]
+            # Steps 4-6 as one batched GF(2) sweep over the witness block.
+            gf2.pivot_update(witnesses[i + 1 :], c_vec, witnesses[i])
         t2 = time.perf_counter()
         if report is not None:
             report.t_search += t1 - t0

@@ -18,9 +18,12 @@ __all__ = [
     "unpack",
     "zeros",
     "unit",
+    "identity",
     "dot",
     "dot_many",
     "xor_inplace",
+    "xor_many",
+    "pivot_update",
     "get_bit",
     "set_bit",
     "rank",
@@ -45,25 +48,34 @@ def unit(f: int, i: int) -> np.ndarray:
     return v
 
 
+def identity(f: int) -> np.ndarray:
+    """Packed ``(f, words)`` identity matrix — the Step-1 witness matrix
+    ``[S_1 .. S_f]`` built in one vectorized scatter instead of ``f``
+    :func:`unit` calls."""
+    idx = np.arange(f, dtype=np.int64)
+    mat = np.zeros((f, n_words(f)), dtype=np.uint64)
+    mat[idx, idx >> 6] = np.uint64(1) << (idx & 63).astype(np.uint64)
+    return mat
+
+
 def pack(bits: np.ndarray) -> np.ndarray:
-    """Pack a boolean/0-1 array into uint64 words (little-endian bits)."""
+    """Pack a boolean/0-1 array into uint64 words (little-endian bits).
+
+    The zero-padded bit buffer is always ``words * 64`` bits long, so the
+    byte view is always a whole number of uint64 words — one reshape-safe
+    path with no remainder branch.
+    """
     bits = np.asarray(bits, dtype=bool)
     f = bits.size
-    words = n_words(f)
-    padded = np.zeros(words * 64, dtype=bool)
+    padded = np.zeros(n_words(f) * 64, dtype=np.uint8)
     padded[:f] = bits
-    # Little-endian within each 8-byte group: view through uint8.
-    by = np.packbits(padded.reshape(-1, 8)[:, ::-1], axis=1).ravel()
-    return by.view(np.uint64) if by.size % 8 == 0 else np.frombuffer(
-        by.tobytes().ljust(words * 8, b"\0"), dtype=np.uint64
-    ).copy()
+    return np.packbits(padded, bitorder="little").view(np.uint64)
 
 
 def unpack(v: np.ndarray, f: int) -> np.ndarray:
     """Inverse of :func:`pack`: boolean array of length ``f``."""
-    by = v.view(np.uint8)
-    bits = np.unpackbits(by.reshape(-1, 1), axis=1)[:, ::-1].ravel()
-    return bits[:f].astype(bool)
+    by = np.ascontiguousarray(v).view(np.uint8)
+    return np.unpackbits(by, count=f, bitorder="little").astype(bool)
 
 
 def get_bit(v: np.ndarray, i: int) -> int:
@@ -99,6 +111,33 @@ def dot_many(mat: np.ndarray, v: np.ndarray) -> np.ndarray:
 def xor_inplace(target: np.ndarray, source: np.ndarray) -> None:
     """``target ^= source`` (Step 6's symmetric difference)."""
     np.bitwise_xor(target, source, out=target)
+
+
+def xor_many(mat: np.ndarray, mask: np.ndarray, v: np.ndarray) -> None:
+    """``mat[j] ^= v`` for every row with ``mask[j]`` — one fused pass.
+
+    The ``where=`` form XORs selected rows in place without the gather /
+    scatter round-trip of fancy indexing (``mat[mask] ^= v`` materialises a
+    ``(k, words)`` copy twice); this is the batched Step-6 sweep the
+    paper's GPU runs as one grid launch over the 2-D witness matrix.
+    """
+    if mat.size == 0:
+        return
+    sel = np.asarray(mask, dtype=bool)
+    np.bitwise_xor(mat, v[None, :], out=mat, where=sel[:, None])
+
+
+def pivot_update(mat: np.ndarray, v: np.ndarray, pivot: np.ndarray) -> np.ndarray:
+    """Steps 4–6 of Algorithm 2 over a packed witness block, fully batched.
+
+    Computes ``odd[j] = ⟨mat[j], v⟩`` for every row (one AND + popcount +
+    reduce pass), then XORs ``pivot`` into exactly the odd rows (one fused
+    masked XOR).  Returns the boolean ``odd`` mask.  ``mat`` may be a view
+    (e.g. ``witnesses[i+1:]``); it is updated in place.
+    """
+    odd = dot_many(mat, v).astype(bool)
+    xor_many(mat, odd, pivot)
+    return odd
 
 
 def rank(rows: np.ndarray) -> int:

@@ -331,7 +331,7 @@ class MMContext:
         if rest.size == 0:
             return 0
         if parallel_map is None:
-            odd = gf2.dot_many(rest, c_vec).astype(bool)
+            odd = gf2.pivot_update(rest, c_vec, witnesses[i])
         else:
             nblocks = max(1, min(len(rest), 8))
             bounds = np.linspace(0, len(rest), nblocks + 1, dtype=int)
@@ -340,7 +340,7 @@ class MMContext:
                 [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])],
             )
             odd = np.concatenate(parts).astype(bool)
-        rest[odd] ^= witnesses[i]
+            gf2.xor_many(rest, odd, witnesses[i])
         return int(odd.sum())
 
     def new_store(self) -> CandidateStore:
@@ -361,10 +361,7 @@ def mm_mcb(
     if ctx.f == 0:
         return []
     store = ctx.new_store()
-    words = gf2.n_words(ctx.f)
-    witnesses = np.zeros((ctx.f, words), dtype=np.uint64)
-    for i in range(ctx.f):
-        witnesses[i] = gf2.unit(ctx.f, i)
+    witnesses = gf2.identity(ctx.f)
     t1 = time.perf_counter()
     if report is not None:
         report.f = ctx.f

@@ -19,6 +19,7 @@ import scipy.sparse.csgraph as csgraph
 
 from ..graph.csr import CSRGraph
 from ..sssp.dijkstra import dijkstra_tree
+from ..sssp.engine import ZERO_WEIGHT_NUDGE
 from .cycle import Cycle
 from .spanning import SpanningStructure
 
@@ -108,7 +109,7 @@ def min_odd_cycle(
 
 
 def _aux_matrix(aux: CSRGraph) -> sp.csr_matrix:
-    w = np.where(aux.edge_w == 0.0, 1e-300, aux.edge_w)
+    w = np.where(aux.edge_w == 0.0, ZERO_WEIGHT_NUDGE, aux.edge_w)
     row = np.concatenate([aux.edge_u, aux.edge_v])
     col = np.concatenate([aux.edge_v, aux.edge_u])
     dat = np.concatenate([w, w])

@@ -4,7 +4,17 @@ from .bellman_ford import bellman_ford
 from .bidirectional import bidirectional_dijkstra
 from .delta_stepping import delta_stepping
 from .dijkstra import dijkstra, dijkstra_tree, shortest_path
-from .engine import adjacency_matrix, all_pairs, multi_source, spt_forest, sssp
+from .engine import (
+    AdjacencyCache,
+    CacheInfo,
+    adjacency_cache,
+    adjacency_matrix,
+    all_pairs,
+    multi_source,
+    resolve_chunk_size,
+    spt_forest,
+    sssp,
+)
 from .frontier import FrontierStats, frontier_sssp, frontier_sssp_batch
 
 __all__ = [
@@ -14,7 +24,11 @@ __all__ = [
     "dijkstra",
     "dijkstra_tree",
     "shortest_path",
+    "AdjacencyCache",
+    "CacheInfo",
+    "adjacency_cache",
     "adjacency_matrix",
+    "resolve_chunk_size",
     "all_pairs",
     "multi_source",
     "spt_forest",

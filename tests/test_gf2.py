@@ -52,6 +52,23 @@ class TestPacking:
             assert gf2.unpack(u, 100).sum() == 1
             assert gf2.get_bit(u, i) == 1
 
+    @pytest.mark.parametrize("f", [63, 64, 65])
+    def test_pack_random_bits_at_word_boundary(self, f):
+        # Regression: the old non-multiple-of-8 fallback went through
+        # tobytes().ljust and could misalign dense random payloads around
+        # the 64-bit word boundary.
+        rng = np.random.default_rng(f)
+        for _ in range(10):
+            bits = rng.integers(0, 2, size=f).astype(bool)
+            v = gf2.pack(bits)
+            assert v.size == gf2.n_words(f)
+            assert np.array_equal(gf2.unpack(v, f), bits)
+            # Padding bits beyond f must be zero (rank/dot rely on it).
+            tail = np.unpackbits(
+                np.ascontiguousarray(v).view(np.uint8), bitorder="little"
+            )[f:]
+            assert not tail.any()
+
 
 class TestAlgebra:
     @given(bit_vector(f=100), bit_vector(f=100))
@@ -86,6 +103,50 @@ class TestAlgebra:
     def test_dot_many_empty(self):
         mat = np.zeros((0, 2), dtype=np.uint64)
         assert gf2.dot_many(mat, gf2.zeros(100)).shape == (0,)
+
+    @pytest.mark.parametrize("f", [1, 63, 64, 65, 130])
+    def test_identity(self, f):
+        mat = gf2.identity(f)
+        assert mat.shape == (f, gf2.n_words(f))
+        for i in range(f):
+            assert np.array_equal(mat[i], gf2.unit(f, i))
+        assert gf2.rank(mat) == f
+
+    def test_xor_many_matches_definition(self):
+        rng = np.random.default_rng(3)
+        f = 77
+        mat_bits = rng.integers(0, 2, size=(15, f)).astype(bool)
+        v_bits = rng.integers(0, 2, size=f).astype(bool)
+        mask = rng.integers(0, 2, size=15).astype(np.uint8)
+        mat = np.stack([gf2.pack(r) for r in mat_bits])
+        gf2.xor_many(mat, mask, gf2.pack(v_bits))
+        for i in range(15):
+            want = mat_bits[i] ^ v_bits if mask[i] else mat_bits[i]
+            assert np.array_equal(gf2.unpack(mat[i], f), want)
+
+    def test_pivot_update_matches_scalar_loop(self):
+        rng = np.random.default_rng(4)
+        f = 100
+        mat_bits = rng.integers(0, 2, size=(12, f)).astype(bool)
+        c_bits = rng.integers(0, 2, size=f).astype(bool)
+        p_bits = rng.integers(0, 2, size=f).astype(bool)
+        mat = np.stack([gf2.pack(r) for r in mat_bits])
+        ref = mat.copy()
+        c_vec, pivot = gf2.pack(c_bits), gf2.pack(p_bits)
+        odd = gf2.pivot_update(mat, c_vec, pivot)
+        # Scalar reference: xor the pivot into every row odd against c.
+        want_odd = np.zeros(12, dtype=np.uint8)
+        for i in range(12):
+            if gf2.dot(ref[i], c_vec):
+                want_odd[i] = 1
+                gf2.xor_inplace(ref[i], pivot)
+        assert np.array_equal(odd, want_odd)
+        assert np.array_equal(mat, ref)
+
+    def test_pivot_update_empty_block(self):
+        mat = np.zeros((0, 2), dtype=np.uint64)
+        odd = gf2.pivot_update(mat, gf2.zeros(100), gf2.zeros(100))
+        assert odd.shape == (0,)
 
 
 class TestRank:
