@@ -152,6 +152,25 @@ def _cmd_datasets(args) -> None:
     )
 
 
+def _cmd_qa(args) -> None:
+    from .qa.differential import run_suite
+
+    reports = run_suite(
+        count=args.qa_count,
+        seed=args.qa_seed,
+        artifacts_dir=args.qa_artifacts,
+    )
+    failed = False
+    for rep in reports.values():
+        print(rep.summary())
+        print()
+        failed |= not rep.ok
+    if failed:
+        print("conformance FAILED — disagreeing graphs serialized above")
+        raise SystemExit(1)
+    print("conformance OK")
+
+
 def _cmd_all(args) -> None:
     for fn in (_cmd_table1, _cmd_fig2, _cmd_table2, _cmd_phases):
         fn(args)
@@ -163,11 +182,20 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-bench",
         description="Regenerate the tables/figures of the ear-decomposition paper.",
     )
-    parser.add_argument("command", choices=["table1", "fig2", "table2", "phases", "datasets", "all"])
+    parser.add_argument(
+        "command", choices=["table1", "fig2", "table2", "phases", "datasets", "qa", "all"]
+    )
     parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
     parser.add_argument("--datasets", nargs="*", default=None, help="restrict to named datasets")
     parser.add_argument("--mteps", action="store_true", help="also print Figure 3 (fig2)")
     parser.add_argument("--fig6", action="store_true", help="also print Figure 6 (table2)")
+    parser.add_argument("--qa-count", type=int, default=200, help="qa: corpus size")
+    parser.add_argument("--qa-seed", type=int, default=0, help="qa: corpus seed")
+    parser.add_argument(
+        "--qa-artifacts",
+        default=None,
+        help="qa: directory for disagreeing-graph repro files (default: REPRO_QA_ARTIFACTS)",
+    )
     args = parser.parse_args(argv)
     {
         "table1": _cmd_table1,
@@ -175,6 +203,7 @@ def main(argv: list[str] | None = None) -> int:
         "table2": _cmd_table2,
         "phases": _cmd_phases,
         "datasets": _cmd_datasets,
+        "qa": _cmd_qa,
         "all": _cmd_all,
     }[args.command](args)
     return 0

@@ -17,6 +17,7 @@ Properties (verified by the test-suite):
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -156,4 +157,9 @@ def ear_decomposition(g: CSRGraph, root: int = 0) -> EarDecomposition:
         )
     if not ears[0].is_cycle:
         raise GraphError("internal error: first chain must be a cycle")
-    return EarDecomposition(ears=ears, is_open=is_open)
+    dec = EarDecomposition(ears=ears, is_open=is_open)
+    if os.environ.get("REPRO_CHECK_INVARIANTS"):
+        from ..qa.invariants import maybe_check_ear_decomposition
+
+        maybe_check_ear_decomposition(g, dec)
+    return dec

@@ -17,6 +17,7 @@ Section 2.1.3.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -174,6 +175,7 @@ def reduce_graph(g: CSRGraph, keep: np.ndarray | None = None) -> ReducedGraph:
     """
     n = g.n
     deg = g.degree
+    caller_keep = keep is not None
     if keep is None:
         keep = np.zeros(n, dtype=bool)
     else:
@@ -257,6 +259,13 @@ def reduce_graph(g: CSRGraph, keep: np.ndarray | None = None) -> ReducedGraph:
         dist_left=dist_left,
         dist_right=dist_right,
     )
+    if os.environ.get("REPRO_CHECK_INVARIANTS"):
+        # Opt-in contract check (see repro.qa.invariants); a forced keep
+        # mask legitimately leaves contractible vertices, so maximality is
+        # only asserted for the default reduction.
+        from ..qa.invariants import maybe_check_reduction
+
+        maybe_check_reduction(out, strict_degree=not caller_keep)
     return out
 
 

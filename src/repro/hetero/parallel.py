@@ -9,10 +9,19 @@ workers attach to them **zero-copy and pickle-free** — only the small
 per-chunk source arrays and the per-chunk result rows cross process
 boundaries.
 
-The backend degrades gracefully: with ``workers <= 1``, an empty graph, or
-a pool that cannot be created (restricted sandboxes), every call runs
-through the serial :mod:`repro.sssp.engine` path and returns bit-identical
-results.  ``REPRO_WORKERS`` selects the default worker count.
+The backend degrades gracefully: with ``workers <= 1``, an empty graph, a
+pool that cannot be created (restricted sandboxes), a worker that raises
+mid-chunk, or a dispatch that exceeds ``timeout`` seconds
+(``REPRO_PARALLEL_TIMEOUT``), every call runs through the serial
+:mod:`repro.sssp.engine` path and returns bit-identical results — per-
+source Dijkstra runs are independent, so the serial recomputation is the
+same arithmetic.  ``REPRO_WORKERS`` selects the default worker count.
+
+Failure paths are covered by the fault-injection harness
+(:mod:`repro.qa.faultinject`): the ``REPRO_FAULTS`` environment variable
+arms crash/hang/allocation faults at the seams marked ``_inject`` below,
+and the conformance suite asserts that every armed fault still yields the
+serial engine's exact matrices with no leaked shared-memory segments.
 
 This is the process arm of the execution-backend seam (serial scipy /
 thread device / process pool / virtual GPU) the multi-backend roadmap
@@ -35,12 +44,21 @@ from ..sssp import engine as _engine
 
 __all__ = [
     "resolve_workers",
+    "resolve_timeout",
     "SharedCSRBuffers",
     "ParallelEngine",
     "parallel_multi_source",
     "parallel_all_pairs",
     "parallel_spt_forest",
 ]
+
+
+def _inject(seam: str, first_source: int | None = None) -> None:
+    """Fault-injection seam: no-op unless ``REPRO_FAULTS`` is armed."""
+    if os.environ.get("REPRO_FAULTS"):
+        from ..qa import faultinject
+
+        faultinject.fire(seam, first_source=first_source)
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -60,6 +78,21 @@ def resolve_workers(workers: int | None = None) -> int:
     return max(1, int(workers))
 
 
+def resolve_timeout(timeout: float | None = None) -> float | None:
+    """Per-dispatch timeout: explicit argument > ``REPRO_PARALLEL_TIMEOUT``.
+
+    ``None`` (the default) waits indefinitely; a positive value bounds each
+    pool dispatch and triggers the serial degradation path on expiry.
+    """
+    if timeout is None:
+        env = os.environ.get("REPRO_PARALLEL_TIMEOUT")
+        if env:
+            timeout = float(env)
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    return timeout
+
+
 class SharedCSRBuffers:
     """A scipy CSR matrix exported into named shared-memory segments.
 
@@ -74,13 +107,19 @@ class SharedCSRBuffers:
         self.shape = mat.shape
         self._shms: list[shared_memory.SharedMemory] = []
         self.spec: dict = {"shape": mat.shape, "fields": {}}
-        for name in self._FIELDS:
-            arr = np.ascontiguousarray(getattr(mat, name))
-            shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
-            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
-            view[:] = arr
-            self._shms.append(shm)
-            self.spec["fields"][name] = (shm.name, arr.shape, arr.dtype.str)
+        try:
+            for name in self._FIELDS:
+                _inject("shm.create")
+                arr = np.ascontiguousarray(getattr(mat, name))
+                shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[:] = arr
+                self._shms.append(shm)
+                self.spec["fields"][name] = (shm.name, arr.shape, arr.dtype.str)
+        except BaseException:
+            # Failing on the 2nd/3rd segment must not leak the earlier ones.
+            self.close()
+            raise
 
     @staticmethod
     def attach(
@@ -97,13 +136,22 @@ class SharedCSRBuffers:
         fd and must leave the registration alone (it is the parent's).
         """
         arrays = {}
-        shms = []
-        for name, (shm_name, shape, dtype) in spec["fields"].items():
-            shm = shared_memory.SharedMemory(name=shm_name)
-            if untrack:
-                _untrack(shm)
-            shms.append(shm)
-            arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        shms: list[shared_memory.SharedMemory] = []
+        try:
+            for name, (shm_name, shape, dtype) in spec["fields"].items():
+                shm = shared_memory.SharedMemory(name=shm_name)
+                if untrack:
+                    _untrack(shm)
+                shms.append(shm)
+                arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        except BaseException:
+            # A partial attach must release what it already mapped.
+            for shm in shms:
+                try:
+                    shm.close()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+            raise
         mat = sp.csr_matrix(
             (arrays["data"], arrays["indices"], arrays["indptr"]),
             shape=spec["shape"],
@@ -147,11 +195,22 @@ _worker_shms: list[shared_memory.SharedMemory] = []
 
 def _worker_init(spec: dict) -> None:
     global _worker_mat, _worker_shms
-    _worker_mat, _worker_shms = SharedCSRBuffers.attach(spec)
+    try:
+        _worker_mat, _worker_shms = SharedCSRBuffers.attach(spec)
+    except BaseException:
+        # A worker that raises before serving must not hold segment handles
+        # (attach() already released partial maps; reset the globals so a
+        # re-initialised worker starts clean).
+        _worker_mat, _worker_shms = None, []
+        raise
 
 
 def _worker_dijkstra(task: tuple[np.ndarray, bool]):
     sources, want_pred = task
+    _inject(
+        "worker.chunk",
+        first_source=int(sources[0]) if len(sources) else None,
+    )
     out = csgraph.dijkstra(
         _worker_mat, directed=False, indices=sources, return_predecessors=want_pred
     )
@@ -176,7 +235,12 @@ class ParallelEngine:
     call :meth:`close` explicitly, to tear the pool and segments down.
 
     With fewer than 2 effective workers the engine is a thin façade over
-    the serial :mod:`repro.sssp.engine` — same results, no processes.
+    the serial :mod:`repro.sssp.engine` — same results, no processes.  Any
+    pool failure after construction (a worker raising mid-chunk, a dispatch
+    exceeding ``timeout`` seconds) permanently degrades the engine to that
+    same serial path: the in-flight request is recomputed serially, so the
+    caller still receives the exact matrices, and the pool plus its
+    shared-memory segments are torn down.
     """
 
     def __init__(
@@ -185,10 +249,12 @@ class ParallelEngine:
         workers: int | None = None,
         chunk_size: int | None = None,
         start_method: str | None = None,
+        timeout: float | None = None,
     ) -> None:
         self.graph = g
         self.workers = resolve_workers(workers)
         self.chunk_size = _engine.resolve_chunk_size(chunk_size)
+        self.timeout = resolve_timeout(timeout)
         self._pool = None
         self._buffers: SharedCSRBuffers | None = None
         if self.workers < 2 or g.n == 0:
@@ -228,15 +294,42 @@ class ParallelEngine:
             for lo in range(0, len(sources), self.chunk_size)
         ]
 
+    def _dispatch(self, tasks: list) -> list:
+        """Fan tasks out, bounded by ``timeout`` when one is configured."""
+        if self.timeout is None:
+            return self._pool.map(_worker_dijkstra, tasks)
+        return self._pool.map_async(_worker_dijkstra, tasks).get(self.timeout)
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Tear the pool down after a failure; the engine stays usable serially.
+
+        ``terminate`` rather than ``close``: the workers may be hung (the
+        timeout path) or mid-crash, so a graceful join could block forever.
+        """
+        warnings.warn(
+            f"ParallelEngine degrading to serial execution: {exc!r}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._buffers is not None:
+            self._buffers.close()
+            self._buffers = None
+
     def multi_source(self, sources: np.ndarray) -> np.ndarray:
         """Distance matrix ``(len(sources), n)`` — bit-identical to the
-        serial engine for any worker count or chunking."""
+        serial engine for any worker count, chunking, or pool failure."""
         sources = np.asarray(sources, dtype=np.int64)
         if self._pool is None or len(sources) == 0:
             return _engine.multi_source(self.graph, sources, self.chunk_size)
-        rows = self._pool.map(
-            _worker_dijkstra, [(c, False) for c in self._chunks(sources)]
-        )
+        try:
+            rows = self._dispatch([(c, False) for c in self._chunks(sources)])
+        except Exception as exc:
+            self._degrade(exc)
+            return _engine.multi_source(self.graph, sources, self.chunk_size)
         return np.vstack(rows)
 
     def all_pairs(self) -> np.ndarray:
@@ -248,9 +341,11 @@ class ParallelEngine:
         sources = np.asarray(sources, dtype=np.int64)
         if self._pool is None or len(sources) == 0:
             return _engine.spt_forest(self.graph, sources, self.chunk_size)
-        parts = self._pool.map(
-            _worker_dijkstra, [(c, True) for c in self._chunks(sources)]
-        )
+        try:
+            parts = self._dispatch([(c, True) for c in self._chunks(sources)])
+        except Exception as exc:
+            self._degrade(exc)
+            return _engine.spt_forest(self.graph, sources, self.chunk_size)
         dist = np.vstack([d for d, _ in parts])
         pred = np.vstack([p for _, p in parts])
         return dist, pred

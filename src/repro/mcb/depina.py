@@ -10,6 +10,7 @@ and the "Sequential" row of Table 2.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -79,6 +80,18 @@ def depina_mcb(
         if i + 1 < f:
             # Steps 4-6 as one batched GF(2) sweep over the witness block.
             gf2.pivot_update(witnesses[i + 1 :], c_vec, witnesses[i])
+            if os.environ.get("REPRO_CHECK_INVARIANTS"):
+                # De Pina's loop invariant: after the update, every pending
+                # witness is orthogonal to the cycle just selected — this is
+                # what makes each later selection independent of the basis
+                # so far (see repro.qa.invariants for the knob).
+                for row in witnesses[i + 1 :]:
+                    if gf2.dot(row, c_vec) != 0:
+                        from ..qa.invariants import InvariantViolation
+
+                        raise InvariantViolation(
+                            f"witness not orthogonal to cycle {i} after update"
+                        )
         t2 = time.perf_counter()
         if report is not None:
             report.t_search += t1 - t0

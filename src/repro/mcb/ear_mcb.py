@@ -17,6 +17,7 @@ label pass, and scan runs on the smaller graph.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -136,6 +137,12 @@ def minimum_cycle_basis(
                 report.n_removed += red.n_removed
             if sub_report is not None:
                 report.solver_reports.append(sub_report)
+    if os.environ.get("REPRO_CHECK_INVARIANTS"):
+        # Opt-in contract check: the composed, re-expanded basis must be a
+        # genuine GF(2) cycle basis of the *original* graph (Lemma 3.1).
+        from ..qa.invariants import maybe_check_cycle_basis
+
+        maybe_check_cycle_basis(g, basis)
     return basis
 
 

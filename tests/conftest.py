@@ -2,14 +2,89 @@
 
 from __future__ import annotations
 
+import hashlib
 import os
 import sys
 
+import numpy as np
 import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
 from repro.graph import CSRGraph, cycle_graph, grid_graph
+
+
+# ------------------------------------------------------------------ #
+# Session seed: every randomized test derives its rng from one seed
+# that is printed in the header and on failures, so any run can be
+# reproduced with ``pytest --repro-seed=<N>``.
+# ------------------------------------------------------------------ #
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed",
+        type=int,
+        default=None,
+        help="session seed for randomized tests (default: drawn from os.urandom)",
+    )
+
+
+def pytest_configure(config):
+    seed = config.getoption("--repro-seed")
+    if seed is None:
+        env = os.environ.get("REPRO_SEED")
+        seed = int(env) if env else int.from_bytes(os.urandom(4), "little")
+    config._repro_seed = int(seed)
+
+
+def pytest_report_header(config):
+    return f"repro-seed: {config._repro_seed} (rerun with --repro-seed={config._repro_seed})"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    rep = outcome.get_result()
+    if rep.when == "call" and rep.failed:
+        seed = getattr(item.config, "_repro_seed", None)
+        if seed is not None:
+            rep.sections.append(
+                (
+                    "repro seed",
+                    f"session seed {seed} — rerun this test with "
+                    f"pytest --repro-seed={seed} {item.nodeid!r}",
+                )
+            )
+
+
+def derive_seed(session_seed: int, name: str) -> int:
+    """Stable per-test seed: a digest of the session seed and the test id."""
+    h = hashlib.blake2b(f"{session_seed}:{name}".encode(), digest_size=8)
+    return int.from_bytes(h.digest()[:4], "little")
+
+
+@pytest.fixture(scope="session")
+def repro_seed(request) -> int:
+    """The session-wide seed behind every randomized test."""
+    return request.config._repro_seed
+
+
+@pytest.fixture
+def test_seed(request, repro_seed) -> int:
+    """A per-test seed derived from the session seed and the test's nodeid."""
+    return derive_seed(repro_seed, request.node.nodeid)
+
+
+@pytest.fixture
+def rng(test_seed) -> np.random.Generator:
+    """A per-test numpy generator reproducible from ``--repro-seed``."""
+    return np.random.default_rng(test_seed)
+
+
+# ------------------------------------------------------------------ #
+# Shared graphs
+# ------------------------------------------------------------------ #
 
 
 @pytest.fixture

@@ -1,0 +1,79 @@
+"""Chunked-dispatch edge cases: chunk size 1, chunk > n, empty sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apsp import dijkstra_apsp, ear_apsp_full
+from repro.graph import grid_graph
+from repro.qa import strategies
+from repro.sssp import engine
+
+pytestmark = pytest.mark.qa
+
+
+@pytest.fixture
+def graph():
+    return grid_graph(4, 5)
+
+
+class TestChunkSizeOne:
+    def test_env_chunk_of_one(self, graph, monkeypatch):
+        want = dijkstra_apsp(graph)
+        monkeypatch.setenv("REPRO_SSSP_CHUNK", "1")
+        assert engine.resolve_chunk_size(None) == 1
+        assert np.array_equal(dijkstra_apsp(graph), want)
+        assert np.array_equal(ear_apsp_full(graph), want)
+
+    def test_explicit_chunk_of_one(self, graph):
+        want = dijkstra_apsp(graph)
+        assert np.array_equal(dijkstra_apsp(graph, chunk_size=1), want)
+        assert np.array_equal(ear_apsp_full(graph, chunk_size=1), want)
+
+    def test_chunk_of_one_on_multigraph(self):
+        g = strategies.parallel_hairball(5, 12, seed=7)
+        assert np.array_equal(
+            dijkstra_apsp(g, chunk_size=1), dijkstra_apsp(g)
+        )
+
+
+class TestChunkLargerThanSources:
+    def test_single_oversized_chunk(self, graph):
+        want = dijkstra_apsp(graph)
+        assert np.array_equal(dijkstra_apsp(graph, chunk_size=1000), want)
+        assert np.array_equal(ear_apsp_full(graph, chunk_size=1000), want)
+
+    def test_env_oversized_chunk(self, graph, monkeypatch):
+        want = dijkstra_apsp(graph)
+        monkeypatch.setenv("REPRO_SSSP_CHUNK", "1000")
+        assert np.array_equal(dijkstra_apsp(graph), want)
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            engine.resolve_chunk_size(0)
+        with pytest.raises(ValueError):
+            engine.resolve_chunk_size(-3)
+
+
+class TestEmptySources:
+    def test_multi_source_empty(self, graph):
+        out = engine.multi_source(graph, np.array([], dtype=np.int64))
+        assert out.shape == (0, graph.n)
+
+    def test_spt_forest_empty(self, graph):
+        dist, parent = engine.spt_forest(graph, np.array([], dtype=np.int64))
+        assert dist.shape == (0, graph.n)
+        assert parent.shape == (0, graph.n)
+
+    def test_empty_graph_apsp(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph(0, [], [], [])
+        assert dijkstra_apsp(g).shape == (0, 0)
+        assert ear_apsp_full(g).shape == (0, 0)
+
+    def test_empty_sources_with_chunk_of_one(self, graph, monkeypatch):
+        monkeypatch.setenv("REPRO_SSSP_CHUNK", "1")
+        out = engine.multi_source(graph, np.array([], dtype=np.int64))
+        assert out.shape == (0, graph.n)

@@ -1,0 +1,166 @@
+"""Fault injection: the parallel backend degrades losslessly.
+
+Each armed fault (worker crash mid-chunk, shared-memory allocation
+failure, hung worker past the dispatch timeout) must leave the caller with
+the serial engine's bit-identical matrices and leak no shared-memory
+segments.
+"""
+
+from __future__ import annotations
+
+import glob
+import warnings
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.graph import grid_graph
+from repro.hetero.parallel import ParallelEngine, SharedCSRBuffers, resolve_timeout
+from repro.qa import faultinject
+from repro.sssp import engine as serial_engine
+
+pytestmark = pytest.mark.qa
+
+
+def shm_segment_count() -> int | None:
+    """Live ``/dev/shm`` segment count, or None where it does not exist."""
+    try:
+        return len(glob.glob("/dev/shm/psm_*"))
+    except OSError:  # pragma: no cover - non-tmpfs platforms
+        return None
+
+
+@pytest.fixture
+def leak_check():
+    before = shm_segment_count()
+    yield
+    after = shm_segment_count()
+    if before is not None and after is not None:
+        assert after <= before, f"leaked shared-memory segments: {after - before}"
+
+
+@pytest.fixture
+def graph():
+    return grid_graph(6, 7)
+
+
+class TestSpecParsing:
+    def test_parse_spec(self):
+        assert faultinject.parse_spec("worker.crash:8, shm.oom") == [
+            ("worker.crash", "8"),
+            ("shm.oom", None),
+        ]
+        assert faultinject.parse_spec("") == []
+
+    def test_inject_restores_env(self, monkeypatch):
+        monkeypatch.delenv(faultinject.ENV_VAR, raising=False)
+        with faultinject.inject("shm.oom"):
+            with pytest.raises(OSError):
+                faultinject.fire("shm.create")
+        faultinject.fire("shm.create")  # disarmed again
+
+    def test_crash_threshold(self, monkeypatch):
+        monkeypatch.setenv(faultinject.ENV_VAR, "worker.crash:8")
+        faultinject.fire("worker.chunk", first_source=4)  # below threshold
+        with pytest.raises(faultinject.InjectedWorkerCrash):
+            faultinject.fire("worker.chunk", first_source=8)
+
+    def test_resolve_timeout(self, monkeypatch):
+        assert resolve_timeout(None) is None
+        assert resolve_timeout(2.5) == 2.5
+        monkeypatch.setenv("REPRO_PARALLEL_TIMEOUT", "1.5")
+        assert resolve_timeout(None) == 1.5
+        assert resolve_timeout(9.0) == 9.0  # explicit argument wins
+        with pytest.raises(ValueError):
+            resolve_timeout(0)
+
+
+class TestDegradation:
+    def test_worker_crash_midway_bit_identical(self, graph, leak_check):
+        want = serial_engine.all_pairs(graph)
+        with faultinject.inject_worker_crash(from_source=8):
+            with ParallelEngine(graph, workers=2, chunk_size=4) as eng:
+                if not eng.is_parallel:
+                    pytest.skip("no process pool in this sandbox")
+                with pytest.warns(RuntimeWarning, match="degrading to serial"):
+                    got = eng.all_pairs()
+                assert not eng.is_parallel  # pool is gone for good
+        assert np.array_equal(want, got)
+
+    def test_shm_allocation_failure_falls_back(self, graph, leak_check):
+        want = serial_engine.all_pairs(graph)
+        with faultinject.inject_shm_failure():
+            with pytest.warns(RuntimeWarning, match="falling back to serial"):
+                eng = ParallelEngine(graph, workers=2, chunk_size=4)
+            with eng:
+                assert not eng.is_parallel
+                got = eng.all_pairs()
+        assert np.array_equal(want, got)
+
+    def test_hung_worker_times_out_and_degrades(self, graph, leak_check):
+        want = serial_engine.all_pairs(graph)
+        with faultinject.inject_worker_hang(30.0):
+            with ParallelEngine(graph, workers=2, chunk_size=16, timeout=1.0) as eng:
+                if not eng.is_parallel:
+                    pytest.skip("no process pool in this sandbox")
+                with pytest.warns(RuntimeWarning, match="degrading to serial"):
+                    got = eng.all_pairs()
+        assert np.array_equal(want, got)
+
+    def test_spt_forest_degrades_bit_identical(self, graph, leak_check):
+        sources = np.arange(graph.n, dtype=np.int64)
+        want_d, want_p = serial_engine.spt_forest(graph, sources)
+        with faultinject.inject_worker_crash():
+            with ParallelEngine(graph, workers=2, chunk_size=8) as eng:
+                if not eng.is_parallel:
+                    pytest.skip("no process pool in this sandbox")
+                with pytest.warns(RuntimeWarning, match="degrading to serial"):
+                    got_d, got_p = eng.spt_forest(sources)
+        assert np.array_equal(want_d, got_d)
+        assert np.array_equal(want_p, got_p)
+
+    def test_degraded_engine_stays_usable(self, graph, leak_check):
+        want = serial_engine.multi_source(graph, np.array([0, 3, 5]))
+        with faultinject.inject_worker_crash():
+            with ParallelEngine(graph, workers=2, chunk_size=4) as eng:
+                if not eng.is_parallel:
+                    pytest.skip("no process pool in this sandbox")
+                with pytest.warns(RuntimeWarning):
+                    eng.all_pairs()
+        # The fault is disarmed and the pool is gone; later calls serve serially.
+        got = eng.multi_source(np.array([0, 3, 5]))
+        assert np.array_equal(want, got)
+        eng.close()
+
+
+class TestSharedMemoryLeaks:
+    def test_partial_buffer_creation_releases_segments(self, graph, leak_check):
+        """Allocation failing on the 2nd segment must free the 1st."""
+        mat = serial_engine.adjacency_cache().get(graph)
+        created: list[shared_memory.SharedMemory] = []
+        real_ctor = shared_memory.SharedMemory
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError(28, "simulated ENOSPC")
+            shm = real_ctor(*args, **kwargs)
+            created.append(shm)
+            return shm
+
+        with pytest.MonkeyPatch.context() as mp_ctx:
+            mp_ctx.setattr(shared_memory, "SharedMemory", flaky)
+            with pytest.raises(OSError):
+                SharedCSRBuffers(mat)
+        assert created, "first segment should have been created"
+        for shm in created:  # every created segment must already be unlinked
+            with pytest.raises(FileNotFoundError):
+                real_ctor(name=shm.name)
+
+    def test_normal_lifecycle_leaves_no_segments(self, graph, leak_check):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with ParallelEngine(graph, workers=2, chunk_size=8) as eng:
+                eng.all_pairs()

@@ -1,0 +1,130 @@
+"""Delta-stepping and bidirectional Dijkstra vs the reference engine.
+
+Both get cross-checked against ``repro.sssp.engine`` (scipy Dijkstra) on
+the adversarial strategy corpus and on hypothesis-drawn graphs — ties,
+near-zero weights, multigraphs, and disconnected graphs included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.qa import strategies
+from repro.sssp import engine
+from repro.sssp.bidirectional import bidirectional_dijkstra
+from repro.sssp.delta_stepping import delta_stepping
+
+pytestmark = pytest.mark.qa
+
+RTOL, ATOL = 1e-9, 1e-12
+
+
+def corpus_graphs(seed: int, count: int = 40):
+    return [(name, g) for name, g in strategies.corpus(count=count, seed=seed) if g.n]
+
+
+class TestDeltaStepping:
+    def test_matches_dijkstra_on_corpus(self, repro_seed):
+        for name, g in corpus_graphs(repro_seed):
+            want = engine.sssp(g, 0)
+            got = delta_stepping(g, 0)
+            np.testing.assert_allclose(got, want, rtol=RTOL, atol=ATOL, err_msg=name)
+
+    @pytest.mark.parametrize("delta", [1e-6, 0.1, 1.0, 100.0])
+    def test_delta_choice_does_not_change_result(self, delta):
+        g = strategies.theta_graph(4, 6, seed=11)
+        want = engine.sssp(g, 0)
+        np.testing.assert_allclose(
+            delta_stepping(g, 0, delta=delta), want, rtol=RTOL, atol=ATOL
+        )
+
+    def test_near_zero_weights(self):
+        g = strategies.reweighted(strategies.theta_graph(3, 5, seed=2), "near-zero", seed=2)
+        np.testing.assert_allclose(
+            delta_stepping(g, 1), engine.sssp(g, 1), rtol=RTOL, atol=ATOL
+        )
+
+    def test_unreachable_vertices_stay_infinite(self):
+        g = strategies.disconnected_graph(2, 4, isolated=1, seed=3)
+        got = delta_stepping(g, 0)
+        want = engine.sssp(g, 0)
+        assert np.array_equal(np.isinf(got), np.isinf(want))
+
+    def test_hypothesis_graphs(self):
+        from hypothesis import given, settings
+
+        @given(strategies.graph_strategy(max_n=12))
+        @settings(max_examples=25, deadline=None)
+        def inner(g):
+            if g.n == 0:
+                return
+            np.testing.assert_allclose(
+                delta_stepping(g, 0), engine.sssp(g, 0), rtol=RTOL, atol=ATOL
+            )
+
+        inner()
+
+
+class TestBidirectionalDijkstra:
+    def assert_path_consistent(self, g, source, target, dist, path):
+        want = engine.sssp(g, source)[target]
+        if np.isinf(want):
+            assert np.isinf(dist) and path == []
+            return
+        assert np.isclose(dist, want, rtol=RTOL, atol=ATOL)
+        assert path[0] == source and path[-1] == target
+        # The reported path must be walkable at the reported cost.
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            step = np.inf
+            for slot in range(g.indptr[a], g.indptr[a + 1]):
+                if g.indices[slot] == b:
+                    step = min(step, float(g.weights[slot]))
+            assert np.isfinite(step), f"no edge {a}-{b} on reported path"
+            total += step
+        assert np.isclose(total, dist, rtol=RTOL, atol=ATOL)
+
+    def test_matches_dijkstra_on_corpus(self, repro_seed, rng):
+        for name, g in corpus_graphs(repro_seed, count=30):
+            s = int(rng.integers(0, g.n))
+            t = int(rng.integers(0, g.n))
+            dist, path = bidirectional_dijkstra(g, s, t)
+            self.assert_path_consistent(g, s, t, dist, path)
+
+    def test_source_equals_target(self):
+        g = strategies.theta_graph(3, 4, seed=0)
+        assert bidirectional_dijkstra(g, 2, 2) == (0.0, [2])
+
+    def test_disconnected_pair(self):
+        g = strategies.disconnected_graph(2, 3, isolated=0, seed=1)
+        dist, path = bidirectional_dijkstra(g, 0, g.n - 1)
+        want = engine.sssp(g, 0)[g.n - 1]
+        if np.isinf(want):
+            assert np.isinf(dist) and path == []
+
+    def test_all_pairs_on_tied_multigraph(self):
+        g = strategies.reweighted(strategies.parallel_hairball(5, 12, seed=4), "ties")
+        full = engine.all_pairs(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                dist, path = bidirectional_dijkstra(g, s, t)
+                if np.isinf(full[s, t]):
+                    assert np.isinf(dist)
+                else:
+                    assert np.isclose(dist, full[s, t], rtol=RTOL, atol=ATOL)
+
+    def test_hypothesis_graphs(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(strategies.graph_strategy(max_n=10), st.integers(0, 10**6))
+        @settings(max_examples=25, deadline=None)
+        def inner(g, pick):
+            if g.n == 0:
+                return
+            s, t = pick % g.n, (pick // g.n) % g.n
+            dist, path = bidirectional_dijkstra(g, s, t)
+            self.assert_path_consistent(g, s, t, dist, path)
+
+        inner()
