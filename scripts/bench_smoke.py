@@ -41,6 +41,7 @@ def _time(fn, repeat: int = 3) -> float:
 
 def bench_repeated_sssp(scale: float) -> dict:
     from repro import datasets
+    from repro.bench.metrics import speedup
     from repro.sssp import engine
 
     g = datasets.load("as-22july06", scale)
@@ -62,13 +63,14 @@ def bench_repeated_sssp(scale: float) -> dict:
         "sources": int(sources.size),
         "uncached_per_source_s": t_uncached,
         "cached_chunked_s": t_cached,
-        "speedup": t_uncached / t_cached if t_cached else float("inf"),
+        "speedup": speedup(t_uncached, t_cached),
         "cache": {"hits": info.hits, "misses": info.misses},
     }
 
 
 def bench_parallel(scale: float) -> dict:
     from repro import datasets
+    from repro.bench.metrics import speedup
     from repro.hetero.parallel import ParallelEngine, resolve_workers
     from repro.sssp import engine
 
@@ -85,7 +87,7 @@ def bench_parallel(scale: float) -> dict:
         "pool_live": live,
         "serial_s": t_serial,
         "parallel_s": t_parallel,
-        "speedup": t_serial / t_parallel if t_parallel else float("inf"),
+        "speedup": speedup(t_serial, t_parallel),
         "bit_identical": parity,
     }
 
@@ -112,7 +114,7 @@ def bench_table2(scale: float) -> list[dict]:
     from repro.bench import run_table2
 
     rows = run_table2(scale=scale, names=["nopoly", "OPF_3754"])
-    return [
+    rows_out = [
         {
             "name": r.name,
             "n": r.n,
@@ -128,6 +130,7 @@ def bench_table2(scale: float) -> list[dict]:
         }
         for r in rows
     ]
+    return rows_out
 
 
 def main() -> None:
@@ -146,10 +149,31 @@ def main() -> None:
         "fig2": bench_fig2(args.scale),
         "table2": bench_table2(args.scale),
     }
+    # Whole-run observability counters: cache efficacy, chunk dispatch
+    # volume, parallel-backend activity (repro.obs.metrics snapshot).
+    from repro.obs import snapshot
+    from repro.sssp.engine import adjacency_cache
+
+    info = adjacency_cache().info()
+    baseline["obs"] = {
+        "adjacency_cache": {
+            "hits": info.hits,
+            "misses": info.misses,
+            "size": info.size,
+            "maxsize": info.maxsize,
+        },
+        "counters": {
+            k: v
+            for k, v in snapshot().items()
+            if not isinstance(v, dict) and v
+        },
+    }
     args.out.write_text(json.dumps(baseline, indent=2) + "\n")
     rs = baseline["repeated_sssp"]
     pl = baseline["parallel"]
     print(f"wrote {args.out}")
+    cache = baseline["obs"]["adjacency_cache"]
+    print(f"adjacency cache: {cache['hits']} hits / {cache['misses']} misses")
     print(
         f"repeated-sssp: uncached {rs['uncached_per_source_s']:.3f}s "
         f"vs cached+chunked {rs['cached_chunked_s']:.3f}s "

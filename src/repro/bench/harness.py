@@ -26,7 +26,8 @@ from ..hetero.mcb_runner import mcb_with_trace
 from ..hetero.trace import simulate_trace
 from ..mcb.mehlhorn_michail import MMReport, mm_mcb
 from ..mcb.verify import verify_cycle_basis
-from .metrics import geometric_mean, mteps
+from ..obs.trace import span as _span
+from .metrics import geometric_mean, mteps, speedup as _speedup
 
 __all__ = [
     "Table1Row",
@@ -136,7 +137,7 @@ class Fig2Row:
 
     @property
     def speedup(self) -> float:
-        return self.t_baseline / self.t_ours if self.t_ours else float("inf")
+        return _speedup(self.t_baseline, self.t_ours)
 
 
 def run_fig2(
@@ -154,16 +155,23 @@ def run_fig2(
         g = spec.generate(scale)
         rep = EarAPSPReport()
         t0 = time.perf_counter()
-        ours = ear_apsp_full(g, report=rep)
+        # When a trace collector is live (repro.obs), each timed leg gets a
+        # span so bench runs produce span trees alongside the wall times.
+        with _span("bench.fig2.ours", cat="bench", dataset=spec.name):
+            ours = ear_apsp_full(g, report=rep)
         t_ours = time.perf_counter() - t0
         if spec.planar:
             t0 = time.perf_counter()
-            base = partition_apsp(g, seed=1)
+            with _span("bench.fig2.baseline", cat="bench", dataset=spec.name,
+                       baseline="djidjev"):
+                base = partition_apsp(g, seed=1)
             t_base = time.perf_counter() - t0
             baseline = "djidjev"
         else:
             t0 = time.perf_counter()
-            base = bcc_apsp(g, peel=True)
+            with _span("bench.fig2.baseline", cat="bench", dataset=spec.name,
+                       baseline="banerjee"):
+                base = bcc_apsp(g, peel=True)
             t_base = time.perf_counter() - t0
             baseline = "banerjee"
         if check:
@@ -229,7 +237,9 @@ def run_table2(
         per_platform: dict[str, list[float]] = {p: [0.0, 0.0] for p in PLATFORM_NAMES}
         for k, use_ear in enumerate((True, False)):
             t0 = time.perf_counter()
-            cycles, trace = mcb_with_trace(g, use_ear=use_ear)
+            with _span("bench.table2.mcb", cat="bench", dataset=name,
+                       use_ear=use_ear):
+                cycles, trace = mcb_with_trace(g, use_ear=use_ear)
             wall = time.perf_counter() - t0
             if use_ear:
                 row.wall_with_ear = wall

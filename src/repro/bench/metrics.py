@@ -15,16 +15,26 @@ __all__ = ["mteps", "speedup", "geometric_mean"]
 
 
 def mteps(n: int, m: int, seconds: float) -> float:
-    """Million traversed edges per second for an all-sources traversal."""
+    """Million traversed edges per second for an all-sources traversal.
+
+    Raises :class:`ValueError` on nonpositive ``seconds`` rather than
+    returning ``inf``: a silent infinity poisons geometric means and JSON
+    reports downstream, and a measured time of zero always indicates a
+    harness bug (a ``perf_counter`` delta over real work is never zero).
+    """
     if seconds <= 0:
-        return float("inf")
+        raise ValueError(f"mteps needs a positive time, got {seconds!r}")
     return (float(m) * float(n)) / seconds / 1e6
 
 
 def speedup(baseline_seconds: float, ours_seconds: float) -> float:
-    """How many times faster ours is than the baseline."""
+    """How many times faster ours is than the baseline.
+
+    Raises :class:`ValueError` on nonpositive ``ours_seconds`` (see
+    :func:`mteps` for why this is an error, not ``inf``).
+    """
     if ours_seconds <= 0:
-        return float("inf")
+        raise ValueError(f"speedup needs a positive time, got {ours_seconds!r}")
     return baseline_seconds / ours_seconds
 
 

@@ -8,6 +8,8 @@ Examples
     repro-bench fig2 --scale 0.03
     repro-bench table2 --datasets nopoly as-22july06
     repro-bench all --scale 0.02
+    repro-bench profile apsp --trace-out trace.json
+    repro-bench profile mcb --datasets nopoly --scale 0.02
 """
 
 from __future__ import annotations
@@ -153,7 +155,9 @@ def _cmd_datasets(args) -> None:
 
 
 def _cmd_qa(args) -> None:
+    from .obs import snapshot
     from .qa.differential import run_suite
+    from .sssp.engine import adjacency_cache
 
     reports = run_suite(
         count=args.qa_count,
@@ -165,10 +169,62 @@ def _cmd_qa(args) -> None:
         print(rep.summary())
         print()
         failed |= not rep.ok
+    info = adjacency_cache().info()
+    total = info.hits + info.misses
+    rate = 100.0 * info.hits / total if total else 0.0
+    print(
+        f"adjacency cache: {info.hits} hits / {info.misses} misses "
+        f"({rate:.1f}% hit rate, {info.size}/{info.maxsize} entries)"
+    )
+    counters = snapshot("engine.")
+    counters.update(snapshot("qa."))
+    print("counters: " + ", ".join(f"{k}={v}" for k, v in counters.items()))
     if failed:
         print("conformance FAILED — disagreeing graphs serialized above")
         raise SystemExit(1)
     print("conformance OK")
+
+
+def _cmd_profile(args) -> None:
+    """``repro-bench profile <workload>`` — trace one pipeline end to end.
+
+    Runs the named workload under a fresh trace collector (ambient
+    ``REPRO_TRACE`` is not required), writes a Chrome ``trace_event`` JSON
+    when ``--trace-out`` is given, and prints the per-phase summary plus
+    the counter table.
+    """
+    import numpy as np
+
+    from . import datasets
+    from .obs import snapshot, summary, tracing
+    from .obs.metrics import metrics_diff
+
+    workload = args.workload or "apsp"
+    name = (args.datasets or ["OPF_3754"])[0]
+    g = datasets.load(name, args.scale)
+    before = snapshot()
+    with tracing() as tr:
+        if workload in ("apsp", "both"):
+            from .hetero.apsp_runner import apsp_with_trace
+            from .hetero.parallel import ParallelEngine
+
+            apsp_with_trace(g)
+            # A short parallel-backend burst so the trace carries
+            # per-worker tracks alongside the serial pipeline spans.
+            with ParallelEngine(g, workers=args.workers) as eng:
+                eng.multi_source(np.arange(min(g.n, 128), dtype=np.int64))
+        if workload in ("mcb", "both"):
+            from .hetero.mcb_runner import mcb_with_trace
+
+            mcb_with_trace(g)
+    if args.trace_out:
+        tr.write_chrome(args.trace_out)
+        print(f"wrote Chrome trace to {args.trace_out} "
+              f"({len(tr)} spans; open in chrome://tracing or ui.perfetto.dev)")
+        print()
+    print(f"profile of {workload!r} on {name} (n={g.n}, m={g.m})")
+    print()
+    print(summary(tr, metrics_diff(before, snapshot())))
 
 
 def _cmd_all(args) -> None:
@@ -183,7 +239,15 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the tables/figures of the ear-decomposition paper.",
     )
     parser.add_argument(
-        "command", choices=["table1", "fig2", "table2", "phases", "datasets", "qa", "all"]
+        "command",
+        choices=["table1", "fig2", "table2", "phases", "datasets", "qa", "profile", "all"],
+    )
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        choices=["apsp", "mcb", "both"],
+        help="profile: which pipeline to trace (default apsp)",
     )
     parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
     parser.add_argument("--datasets", nargs="*", default=None, help="restrict to named datasets")
@@ -196,6 +260,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="qa: directory for disagreeing-graph repro files (default: REPRO_QA_ARTIFACTS)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="profile: path for the Chrome trace_event JSON",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="profile: worker count for the parallel-backend burst",
+    )
     args = parser.parse_args(argv)
     {
         "table1": _cmd_table1,
@@ -204,6 +279,7 @@ def main(argv: list[str] | None = None) -> int:
         "phases": _cmd_phases,
         "datasets": _cmd_datasets,
         "qa": _cmd_qa,
+        "profile": _cmd_profile,
         "all": _cmd_all,
     }[args.command](args)
     return 0

@@ -23,8 +23,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import CSRGraph, GraphError
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 
 __all__ = ["Ear", "EarDecomposition", "ear_decomposition"]
+
+_C_DECOMPOSITIONS = _metrics.counter("ear.decompositions")
+_C_EARS = _metrics.counter("ear.ears_found")
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,14 @@ def ear_decomposition(g: CSRGraph, root: int = 0) -> EarDecomposition:
         raise GraphError("ear decomposition needs a non-empty graph")
     if g.has_self_loops:
         raise GraphError("ear decomposition is undefined on self-loops")
+    with _span("decomposition.ear", cat="decomposition", n=g.n, m=g.m):
+        dec = _ear_decomposition(g, root)
+    _C_DECOMPOSITIONS.inc()
+    _C_EARS.inc(dec.count)
+    return dec
+
+
+def _ear_decomposition(g: CSRGraph, root: int) -> EarDecomposition:
     n = g.n
     indptr, indices, eids = g.indptr, g.indices, g.csr_eid
 

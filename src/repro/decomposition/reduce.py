@@ -23,8 +23,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.csr import CSRGraph, GraphError
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 
 __all__ = ["Chain", "ReducedGraph", "reduce_graph"]
+
+_C_REDUCTIONS = _metrics.counter("reduce.calls")
+_C_CHAINS = _metrics.counter("reduce.chains")
+_C_REMOVED = _metrics.counter("reduce.vertices_removed")
 
 
 @dataclass(frozen=True)
@@ -173,6 +179,15 @@ def reduce_graph(g: CSRGraph, keep: np.ndarray | None = None) -> ReducedGraph:
         vertices — the smallest vertex id on the cycle (an anchor, so the
         cycle becomes a self-loop in ``G^r``).
     """
+    with _span("decomposition.reduce", cat="decomposition", n=g.n, m=g.m):
+        out = _reduce_graph(g, keep)
+    _C_REDUCTIONS.inc()
+    _C_CHAINS.inc(len(out.chains))
+    _C_REMOVED.inc(out.n_removed)
+    return out
+
+
+def _reduce_graph(g: CSRGraph, keep: np.ndarray | None = None) -> ReducedGraph:
     n = g.n
     deg = g.degree
     caller_keep = keep is not None

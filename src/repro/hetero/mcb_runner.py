@@ -25,6 +25,7 @@ from ..graph.csr import CSRGraph
 from ..mcb import gf2
 from ..mcb.cycle import Cycle
 from ..mcb.mehlhorn_michail import MMContext
+from ..obs.trace import span as _span
 from .executor import Platform
 from .trace import SimulationResult, WorkTrace, simulate_trace
 
@@ -53,7 +54,11 @@ def mcb_with_trace(
 ) -> tuple[list[Cycle], WorkTrace]:
     """One real ear-MCB execution plus its recorded work trace."""
     trace = WorkTrace(meta={"n": g.n, "m": g.m, "use_ear": use_ear})
-    bcc = biconnected_components(g)
+    # Same Section 2.4 phase names as the APSP driver: preprocess
+    # (decompose + reduce), process (the MM phases), postprocess (Lemma 3.1
+    # cycle expansion back onto G).
+    with _span("preprocess", cat="mcb", stage="decompose", n=g.n, m=g.m):
+        bcc = biconnected_components(g)
     trace.new_stage("decompose").add(g.m * BYTES_REDUCE_PER_EDGE, g.m)
 
     basis: list[Cycle] = []
@@ -67,22 +72,27 @@ def mcb_with_trace(
         if sub.cycle_space_dimension() == 0:
             continue
         if use_ear:
-            red = reduce_graph(sub)
+            with _span("preprocess", cat="mcb", stage="reduce", n=sub.n):
+                red = reduce_graph(sub)
             solve_on = red.graph
             trace.new_stage("reduce").add(sub.m * BYTES_REDUCE_PER_EDGE, sub.m)
         else:
             red = None
             solve_on = sub
-        cycles = _mm_traced(solve_on, trace, lca_filter, block_size)
-        for cyc in cycles:
-            sub_eids = red.expand_cycle(cyc.edge_ids) if red is not None else cyc.edge_ids
-            basis.append(
-                Cycle(
-                    edge_ids=np.sort(comp_eids[sub_eids]),
-                    weight=cyc.weight,
-                    meta={"component": cid, **cyc.meta},
+        with _span("process", cat="mcb", stage="mehlhorn_michail", n=solve_on.n):
+            cycles = _mm_traced(solve_on, trace, lca_filter, block_size)
+        with _span("postprocess", cat="mcb", stage="expand", cycles=len(cycles)):
+            for cyc in cycles:
+                sub_eids = (
+                    red.expand_cycle(cyc.edge_ids) if red is not None else cyc.edge_ids
                 )
-            )
+                basis.append(
+                    Cycle(
+                        edge_ids=np.sort(comp_eids[sub_eids]),
+                        weight=cyc.weight,
+                        meta={"component": cid, **cyc.meta},
+                    )
+                )
     return basis, trace
 
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 import warnings
 from multiprocessing import shared_memory
 
@@ -40,7 +41,15 @@ import scipy.sparse as sp
 import scipy.sparse.csgraph as csgraph
 
 from ..graph.csr import CSRGraph
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..sssp import engine as _engine
+
+_C_SHM_BYTES = _metrics.counter("parallel.shm_bytes")
+_C_CHUNKS = _metrics.counter("parallel.chunks_dispatched")
+_C_DEGRADED = _metrics.counter("parallel.degraded")
+_G_WORKERS = _metrics.gauge("parallel.workers")
+_G_UTIL = _metrics.gauge("parallel.worker_utilisation")
 
 __all__ = [
     "resolve_workers",
@@ -112,6 +121,7 @@ class SharedCSRBuffers:
                 _inject("shm.create")
                 arr = np.ascontiguousarray(getattr(mat, name))
                 shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+                _C_SHM_BYTES.inc(max(1, arr.nbytes))
                 view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
                 view[:] = arr
                 self._shms.append(shm)
@@ -205,8 +215,31 @@ def _worker_init(spec: dict) -> None:
         raise
 
 
-def _worker_dijkstra(task: tuple[np.ndarray, bool]):
-    sources, want_pred = task
+def _worker_dijkstra(task: tuple[np.ndarray, bool, bool]):
+    """One chunk in a pool worker.
+
+    When the parent is tracing (``want_spans``), the chunk runs under a
+    private worker-local collector and the recorded spans ride back with
+    the result as a picklable payload; the parent ingests them with their
+    worker ``pid`` intact, which the Chrome export turns into per-worker
+    tracks.  A crashing chunk returns nothing — the parent's trace only
+    ever receives complete, well-formed spans.
+    """
+    sources, want_pred, want_spans = task
+    if not want_spans:
+        return _worker_chunk(sources, want_pred)
+    with _trace.tracing() as col:
+        with _trace.span(
+            "parallel.worker_chunk",
+            cat="parallel",
+            sources=int(len(sources)),
+            first_source=int(sources[0]) if len(sources) else -1,
+        ):
+            out = _worker_chunk(sources, want_pred)
+    return out, col.export_spans()
+
+
+def _worker_chunk(sources: np.ndarray, want_pred: bool):
     _inject(
         "worker.chunk",
         first_source=int(sources[0]) if len(sources) else None,
@@ -270,6 +303,7 @@ class ParallelEngine:
                 initializer=_worker_init,
                 initargs=(self._buffers.spec,),
             )
+            _G_WORKERS.set(self.workers)
         except (OSError, ValueError) as exc:  # restricted sandbox / no shm
             warnings.warn(
                 f"ParallelEngine falling back to serial execution: {exc}",
@@ -294,11 +328,38 @@ class ParallelEngine:
             for lo in range(0, len(sources), self.chunk_size)
         ]
 
-    def _dispatch(self, tasks: list) -> list:
-        """Fan tasks out, bounded by ``timeout`` when one is configured."""
-        if self.timeout is None:
-            return self._pool.map(_worker_dijkstra, tasks)
-        return self._pool.map_async(_worker_dijkstra, tasks).get(self.timeout)
+    def _dispatch(self, chunks: list[np.ndarray], want_pred: bool) -> list:
+        """Fan chunks out, bounded by ``timeout`` when one is configured.
+
+        When tracing is active, worker-recorded spans piggy-back on each
+        chunk result and are merged into the parent collector here, with a
+        parent-side ``parallel.dispatch`` span bracketing the whole fan-out
+        and a utilisation gauge computed from the merged busy time.
+        """
+        col = _trace.current_collector()
+        tasks = [(c, want_pred, col is not None) for c in chunks]
+        _C_CHUNKS.inc(len(tasks))
+        t0 = time.perf_counter_ns()
+        with _trace.span(
+            "parallel.dispatch", cat="parallel",
+            chunks=len(tasks), workers=self.workers,
+        ):
+            if self.timeout is None:
+                raw = self._pool.map(_worker_dijkstra, tasks)
+            else:
+                raw = self._pool.map_async(_worker_dijkstra, tasks).get(self.timeout)
+        if col is None:
+            return raw
+        wall = max(1, time.perf_counter_ns() - t0)
+        results = []
+        busy = 0
+        for res, payload in raw:
+            results.append(res)
+            # Only root spans count toward busy time (children are nested).
+            busy += sum(t[3] for t in payload if t[6] == 0)
+            col.ingest(payload)
+        _G_UTIL.set(busy / (wall * max(1, self.workers)))
+        return results
 
     def _degrade(self, exc: BaseException) -> None:
         """Tear the pool down after a failure; the engine stays usable serially.
@@ -311,6 +372,7 @@ class ParallelEngine:
             RuntimeWarning,
             stacklevel=3,
         )
+        _C_DEGRADED.inc()
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -326,7 +388,7 @@ class ParallelEngine:
         if self._pool is None or len(sources) == 0:
             return _engine.multi_source(self.graph, sources, self.chunk_size)
         try:
-            rows = self._dispatch([(c, False) for c in self._chunks(sources)])
+            rows = self._dispatch(self._chunks(sources), want_pred=False)
         except Exception as exc:
             self._degrade(exc)
             return _engine.multi_source(self.graph, sources, self.chunk_size)
@@ -342,7 +404,7 @@ class ParallelEngine:
         if self._pool is None or len(sources) == 0:
             return _engine.spt_forest(self.graph, sources, self.chunk_size)
         try:
-            parts = self._dispatch([(c, True) for c in self._chunks(sources)])
+            parts = self._dispatch(self._chunks(sources), want_pred=True)
         except Exception as exc:
             self._degrade(exc)
             return _engine.spt_forest(self.graph, sources, self.chunk_size)

@@ -21,7 +21,12 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+
 __all__ = ["CandidateStore", "ScanStats"]
+
+_C_SCANNED = _metrics.counter("mcb.candidates_scanned")
+_C_BATCHES = _metrics.counter("mcb.scan_batches")
 
 
 @dataclass
@@ -91,6 +96,8 @@ class CandidateStore:
             live_ids = blk.ids[live_pos]
             self.stats.batches_visited += 1
             self.stats.candidates_tested += int(live_ids.size)
+            _C_BATCHES.inc()
+            _C_SCANNED.inc(int(live_ids.size))
             mask = predicate(live_ids)
             hits = np.nonzero(mask)[0]
             if hits.size:
@@ -138,6 +145,8 @@ class CandidateStore:
                 live_ids = lane.ids[live_pos]
                 self.stats.batches_visited += 1
                 self.stats.candidates_tested += int(live_ids.size)
+                _C_BATCHES.inc()
+                _C_SCANNED.inc(int(live_ids.size))
                 hits = np.nonzero(predicate(live_ids))[0]
                 if hits.size:
                     pos = int(live_pos[hits[0]])

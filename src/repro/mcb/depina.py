@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from . import gf2
 from .cycle import Cycle
 from .fvs import greedy_fvs
@@ -24,6 +26,10 @@ from .signed_graph import min_odd_cycle
 from .spanning import spanning_structure
 
 __all__ = ["DePinaReport", "depina_mcb"]
+
+_C_SEARCHES = _metrics.counter("mcb.depina.searches")
+_C_XORS = _metrics.counter("mcb.witness_xors")
+_C_ORTHO = _metrics.counter("mcb.orthogonality_checks")
 
 
 @dataclass
@@ -69,8 +75,10 @@ def depina_mcb(
     cycles: list[Cycle] = []
     for i in range(f):
         t0 = time.perf_counter()
-        s_bits = gf2.unpack(witnesses[i], f)
-        cyc = min_odd_cycle(g, ss, s_bits, root_ids)
+        with _span("depina.search", cat="mcb", phase=i):
+            s_bits = gf2.unpack(witnesses[i], f)
+            cyc = min_odd_cycle(g, ss, s_bits, root_ids)
+        _C_SEARCHES.inc()
         t1 = time.perf_counter()
         if cyc is None:  # pragma: no cover - S_i != 0 guarantees a cycle
             raise RuntimeError("no odd cycle found for a nonzero witness")
@@ -79,7 +87,10 @@ def depina_mcb(
         assert gf2.dot(c_vec, witnesses[i]) == 1, "selected cycle not odd"
         if i + 1 < f:
             # Steps 4-6 as one batched GF(2) sweep over the witness block.
-            gf2.pivot_update(witnesses[i + 1 :], c_vec, witnesses[i])
+            with _span("depina.update", cat="mcb", phase=i, rows=f - i - 1):
+                odd = gf2.pivot_update(witnesses[i + 1 :], c_vec, witnesses[i])
+            _C_ORTHO.inc(f - i - 1)
+            _C_XORS.inc(int(odd.sum()))
             if os.environ.get("REPRO_CHECK_INVARIANTS"):
                 # De Pina's loop invariant: after the update, every pending
                 # witness is orthogonal to the cycle just selected — this is

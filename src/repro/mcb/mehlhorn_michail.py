@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from ..sssp.engine import spt_forest
 from . import gf2
 from .candidate_store import CandidateStore
@@ -41,6 +43,10 @@ from .horton import perturbed_weights
 from .spanning import SpanningStructure, spanning_structure
 
 __all__ = ["MMReport", "MMContext", "mm_mcb"]
+
+_C_XORS = _metrics.counter("mcb.witness_xors")
+_C_ORTHO = _metrics.counter("mcb.orthogonality_checks")
+_C_PHASES = _metrics.counter("mcb.mm.phases")
 
 _NO_PRED = -9999  # scipy's predecessor sentinel
 
@@ -330,6 +336,7 @@ class MMContext:
         rest = witnesses[i + 1 :]
         if rest.size == 0:
             return 0
+        _C_ORTHO.inc(len(rest))
         if parallel_map is None:
             odd = gf2.pivot_update(rest, c_vec, witnesses[i])
         else:
@@ -341,7 +348,9 @@ class MMContext:
             )
             odd = np.concatenate(parts).astype(bool)
             gf2.xor_many(rest, odd, witnesses[i])
-        return int(odd.sum())
+        flipped = int(odd.sum())
+        _C_XORS.inc(flipped)
+        return flipped
 
     def new_store(self) -> CandidateStore:
         """Fresh weight-ordered candidate store for one run."""
@@ -371,22 +380,27 @@ def mm_mcb(
 
     cycles: list[Cycle] = []
     for i in range(ctx.f):
+        _C_PHASES.inc()
         ta = time.perf_counter()
-        s_pad = ctx.witness_edge_bits(witnesses[i])
-        labels = ctx.compute_labels(s_pad)
+        with _span("mm.labels", cat="mcb", phase=i):
+            s_pad = ctx.witness_edge_bits(witnesses[i])
+            labels = ctx.compute_labels(s_pad)
         tb = time.perf_counter()
-        cand = store.scan_and_remove(ctx.scan_predicate(labels, s_pad))
+        with _span("mm.scan", cat="mcb", phase=i):
+            cand = store.scan_and_remove(ctx.scan_predicate(labels, s_pad))
         tc = time.perf_counter()
         if cand is None:
             raise RuntimeError(
                 "candidate family does not span the cycle space "
                 "(disable lca_filter or report a bug)"
             )
-        cyc, c_vec = ctx.reconstruct(cand)
+        with _span("mm.reconstruct", cat="mcb", phase=i):
+            cyc, c_vec = ctx.reconstruct(cand)
         td = time.perf_counter()
         assert gf2.dot(c_vec, witnesses[i]) == 1
         cycles.append(cyc)
-        ctx.update_witnesses(witnesses, i, c_vec)
+        with _span("mm.update", cat="mcb", phase=i):
+            ctx.update_witnesses(witnesses, i, c_vec)
         te = time.perf_counter()
         if report is not None:
             report.t_labels += tb - ta

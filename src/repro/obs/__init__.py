@@ -1,0 +1,84 @@
+"""``repro.obs`` — unified tracing + metrics for the whole pipeline.
+
+The paper's argument is *phase accounting*: every speedup claim is a
+preprocess / process / post-process split (Section 2.4, Figures 2/5/6).
+This package makes that accounting first-class for the reproduction:
+
+* :mod:`repro.obs.trace` — nested wall-clock spans with a thread-local
+  stack, exported as span trees, JSON, or Chrome ``trace_event`` files
+  that open directly in ``chrome://tracing`` / Perfetto.  Disabled by
+  default; the guarded no-op path costs one module-global read per span.
+* :mod:`repro.obs.metrics` — process-wide named counters / gauges /
+  histograms with a snapshot/diff API.  The hot paths (adjacency cache,
+  chunk dispatch, witness updates, invariant checks) increment counters
+  unconditionally — integer adds are cheap enough to always stay on.
+* :mod:`repro.obs.export` — Chrome-trace serialization and the
+  ``summary()`` pretty-printer (per-phase wall time, % of total, counter
+  table).
+
+Enable tracing with the ``REPRO_TRACE`` environment variable (``1`` to
+collect, a ``*.json`` path to also write a Chrome trace at process exit)
+or programmatically::
+
+    from repro import obs
+
+    with obs.tracing() as tr:
+        ear_apsp_full(g)
+    tr.write_chrome("trace.json")
+    print(obs.summary(tr))
+
+See ``docs/OBSERVABILITY.md`` for span naming conventions and how to
+open the traces in Perfetto.
+"""
+
+from __future__ import annotations
+
+from .export import chrome_trace, summary, validate_chrome_trace, write_chrome_trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    metrics_diff,
+    registry,
+    reset_metrics,
+    snapshot,
+)
+from .trace import (
+    Span,
+    TraceCollector,
+    current_collector,
+    span,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "TraceCollector",
+    "current_collector",
+    "span",
+    "tracing",
+    "tracing_enabled",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "metrics_diff",
+    "registry",
+    "reset_metrics",
+    "snapshot",
+    # export
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "summary",
+]

@@ -1,0 +1,157 @@
+"""Chrome ``trace_event`` export and the human-readable summary.
+
+The Chrome trace format (the JSON consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev) wants complete events (``"ph": "X"``) with
+microsecond timestamps plus optional metadata events naming each
+process/thread track.  Span timestamps are re-based to the collector's
+origin so traces start near zero, and every distinct ``(pid, tid)`` pair
+— including worker pids ingested across the pool boundary — becomes its
+own named track.
+
+:func:`validate_chrome_trace` is the schema check the test-suite (and any
+downstream consumer) runs against emitted files; :func:`summary` renders
+the per-phase wall-time table the paper's Section 2.4 phase accounting
+corresponds to, plus the counter table from :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .trace import TraceCollector
+
+__all__ = ["chrome_trace", "write_chrome_trace", "validate_chrome_trace", "summary"]
+
+
+def chrome_trace(collector: "TraceCollector") -> dict:
+    """The collector's spans as a Chrome ``trace_event`` JSON object."""
+    origin = collector.t_origin_ns
+    events: list[dict] = []
+    tracks: set[tuple[int, int]] = set()
+    pids: set[int] = set()
+    for s in sorted(collector.spans, key=lambda s: s.start_ns):
+        tracks.add((s.pid, s.tid))
+        pids.add(s.pid)
+        ev = {
+            "name": s.name,
+            "cat": s.cat,
+            "ph": "X",
+            "ts": (s.start_ns - origin) / 1e3,  # microseconds
+            "dur": s.dur_ns / 1e3,
+            "pid": s.pid,
+            "tid": s.tid,
+        }
+        if s.args:
+            ev["args"] = s.args
+        events.append(ev)
+    meta: list[dict] = []
+    self_pid = os.getpid()
+    for pid in sorted(pids):
+        label = "repro (parent)" if pid == self_pid else f"repro worker {pid}"
+        meta.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": label}}
+        )
+    for pid, tid in sorted(tracks):
+        meta.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": f"tid {tid}"}}
+        )
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(collector: "TraceCollector", path: str) -> str:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(collector), fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Schema-check a trace document; returns a list of problems (empty = valid).
+
+    Checks the subset of the ``trace_event`` spec the viewers actually
+    require: a ``traceEvents`` array, per-event ``name``/``ph``/``pid``/
+    ``tid``, non-negative numeric ``ts``/``dur`` on complete events, and
+    JSON-serializable ``args``.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i}: missing {key!r}")
+        ph = ev.get("ph")
+        if ph not in {"X", "M", "B", "E", "i", "C"}:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                v = ev.get(key)
+                if not isinstance(v, (int, float)) or v < 0:
+                    problems.append(f"event {i}: bad {key}={v!r}")
+        if "args" in ev:
+            try:
+                json.dumps(ev["args"])
+            except TypeError:
+                problems.append(f"event {i}: args not JSON-serializable")
+    return problems
+
+
+def summary(
+    collector: "TraceCollector",
+    metrics: dict | None = None,
+    top_level_only: bool = True,
+) -> str:
+    """Per-phase wall-time table plus (optionally) a counter table.
+
+    ``top_level_only`` aggregates root spans of the span tree — the
+    preprocess/process/post-process stages of the pipeline drivers — so
+    percentages add up to the traced wall time rather than double-counting
+    nested children.  Pass ``metrics=obs.snapshot()`` to append counters.
+    """
+    from .trace import Span  # noqa: F401 - documents the input type
+
+    rows: dict[str, tuple[int, int]] = {}  # name -> (count, total_ns)
+    if top_level_only:
+        spans = [node["span"] for node in collector.span_tree()]
+    else:
+        spans = list(collector.spans)
+    for s in spans:
+        cnt, tot = rows.get(s.name, (0, 0))
+        rows[s.name] = (cnt + 1, tot + s.dur_ns)
+    total_ns = sum(t for _, t in rows.values())
+    lines: list[str] = []
+    title = "span" if not top_level_only else "phase"
+    lines.append(f"{title:<28} {'count':>7} {'wall (s)':>12} {'% total':>8}")
+    lines.append("-" * 58)
+    for name, (cnt, tot) in sorted(rows.items(), key=lambda kv: -kv[1][1]):
+        pct = 100.0 * tot / total_ns if total_ns else 0.0
+        lines.append(f"{name:<28} {cnt:>7} {tot / 1e9:>12.6f} {pct:>7.1f}%")
+    lines.append("-" * 58)
+    lines.append(f"{'total':<28} {'':>7} {total_ns / 1e9:>12.6f} {'100.0%':>8}")
+    if metrics:
+        lines.append("")
+        lines.append(f"{'metric':<44} {'value':>12}")
+        lines.append("-" * 58)
+        for name, val in metrics.items():
+            if isinstance(val, dict):  # histogram
+                val = (
+                    f"n={val['count']} sum={val['sum']:.6g}"
+                    if val.get("count")
+                    else "n=0"
+                )
+                lines.append(f"{name:<44} {val:>12}")
+            elif isinstance(val, float):
+                lines.append(f"{name:<44} {val:>12.4f}")
+            else:
+                lines.append(f"{name:<44} {val:>12}")
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Process-wide named counters, gauges, and histograms.
+
+A single :class:`MetricsRegistry` instance backs the module-level helpers;
+instruments are created on first use and live for the process (the usual
+Prometheus-style model).  The increments on the pipeline's hot paths —
+adjacency-cache hits, chunk dispatches, witness xors, invariant checks —
+are unconditional: an integer add through a preresolved instrument is far
+below the cost of the work it counts, so unlike spans there is no
+enable/disable knob to get wrong.
+
+:func:`snapshot` returns a plain ``{name: value}`` dict (histograms as
+``{count, sum, min, max}`` sub-dicts) suitable for JSON reports;
+:func:`metrics_diff` subtracts two snapshots so a benchmark can report
+exactly the activity of its own window.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "metrics_diff",
+    "reset_metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing integer (resettable only via the registry)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name}: cannot add negative {n}")
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins float (utilisation fractions, pool sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+class Histogram:
+    """Streaming count / sum / min / max of observed values."""
+
+    __slots__ = ("name", "count", "sum", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument map with snapshot/diff/reset.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name with a different kind raises, catching
+    copy-paste instrumentation mistakes early.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is not None:
+            if not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self, prefix: str = "") -> dict:
+        """``{name: value}`` for every instrument (histograms as dicts)."""
+        with self._lock:
+            items = list(self._instruments.items())
+        out: dict = {}
+        for name, inst in sorted(items):
+            if prefix and not name.startswith(prefix):
+                continue
+            out[name] = inst.as_dict() if isinstance(inst, Histogram) else inst.value
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument (the instruments themselves survive)."""
+        with self._lock:
+            for inst in self._instruments.values():
+                if isinstance(inst, Counter):
+                    inst.value = 0
+                elif isinstance(inst, Gauge):
+                    inst.value = 0.0
+                else:
+                    inst.count, inst.sum = 0, 0.0
+                    inst.min, inst.max = math.inf, -math.inf
+
+
+def metrics_diff(before: dict, after: dict) -> dict:
+    """Activity between two :func:`snapshot` calls.
+
+    Counters subtract; gauges report the ``after`` value; histograms
+    subtract count/sum (min/max are window-insensitive and pass through
+    from ``after``).  Instruments absent from ``before`` count from zero.
+    """
+    out: dict = {}
+    for name, val in after.items():
+        prev = before.get(name)
+        if isinstance(val, dict):
+            pc = prev.get("count", 0) if isinstance(prev, dict) else 0
+            ps = prev.get("sum", 0.0) if isinstance(prev, dict) else 0.0
+            out[name] = {**val, "count": val["count"] - pc, "sum": val["sum"] - ps}
+        elif isinstance(prev, (int, float)):
+            out[name] = val - prev if isinstance(val, int) else val
+        else:
+            out[name] = val
+    return out
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry backing the module helpers."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _REGISTRY.histogram(name)
+
+
+def snapshot(prefix: str = "") -> dict:
+    return _REGISTRY.snapshot(prefix)
+
+
+def reset_metrics() -> None:
+    _REGISTRY.reset()

@@ -28,6 +28,7 @@ import os
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import metrics as _metrics
 
 __all__ = [
     "InvariantViolation",
@@ -41,6 +42,8 @@ __all__ = [
 ]
 
 _TRUTHY = {"1", "true", "yes", "on"}
+
+_C_CHECKS = _metrics.counter("qa.invariant_checks")
 
 
 class InvariantViolation(AssertionError):
@@ -162,14 +165,17 @@ def check_cycle_basis(g: CSRGraph, cycles: list) -> None:
 
 def maybe_check_ear_decomposition(g: CSRGraph, dec) -> None:
     if invariants_enabled():
+        _C_CHECKS.inc()
         check_ear_decomposition(g, dec)
 
 
 def maybe_check_reduction(red, strict_degree: bool | None = None) -> None:
     if invariants_enabled():
+        _C_CHECKS.inc()
         check_reduction(red, strict_degree=strict_degree)
 
 
 def maybe_check_cycle_basis(g: CSRGraph, cycles: list) -> None:
     if invariants_enabled():
+        _C_CHECKS.inc()
         check_cycle_basis(g, cycles)

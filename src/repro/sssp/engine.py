@@ -37,6 +37,15 @@ import scipy.sparse as sp
 import scipy.sparse.csgraph as csgraph
 
 from ..graph.csr import CSRGraph, GraphError
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
+
+# Preresolved instruments: the cache and chunk loops increment these
+# unconditionally (see repro.obs.metrics for why counters stay on).
+_C_HITS = _metrics.counter("engine.adj_cache.hits")
+_C_MISSES = _metrics.counter("engine.adj_cache.misses")
+_C_CHUNKS = _metrics.counter("engine.chunks_dispatched")
+_C_SOURCES = _metrics.counter("engine.sources_dispatched")
 
 __all__ = [
     "ZERO_WEIGHT_NUDGE",
@@ -111,10 +120,13 @@ class AdjacencyCache:
         mat = self._entries.get(key)
         if mat is not None:
             self.hits += 1
+            _C_HITS.inc()
             self._entries.move_to_end(key)
             return mat
         self.misses += 1
-        mat = adjacency_matrix(g)
+        _C_MISSES.inc()
+        with _span("engine.adjacency_build", cat="sssp", n=g.n, m=g.m):
+            mat = adjacency_matrix(g)
         self._entries[key] = mat
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -200,13 +212,20 @@ def multi_source(
     mat = _GLOBAL_CACHE.get(g) if cache else adjacency_matrix(g)
     chunk = resolve_chunk_size(chunk_size)
     k = len(sources)
+    _C_SOURCES.inc(k)
     if k <= chunk:
-        out = csgraph.dijkstra(mat, directed=False, indices=sources)
+        _C_CHUNKS.inc()
+        with _span("sssp.chunk", cat="sssp", sources=k):
+            out = csgraph.dijkstra(mat, directed=False, indices=sources)
         return np.asarray(out, dtype=np.float64)
     out = np.empty((k, g.n), dtype=np.float64)
     for lo in range(0, k, chunk):
         hi = min(lo + chunk, k)
-        out[lo:hi] = csgraph.dijkstra(mat, directed=False, indices=sources[lo:hi])
+        _C_CHUNKS.inc()
+        with _span("sssp.chunk", cat="sssp", sources=hi - lo):
+            out[lo:hi] = csgraph.dijkstra(
+                mat, directed=False, indices=sources[lo:hi]
+            )
     return out
 
 
@@ -238,18 +257,23 @@ def spt_forest(
     mat = _GLOBAL_CACHE.get(g) if cache else adjacency_matrix(g)
     chunk = resolve_chunk_size(chunk_size)
     k = len(sources)
+    _C_SOURCES.inc(k)
     if k <= chunk:
-        dist, pred = csgraph.dijkstra(
-            mat, directed=False, indices=sources, return_predecessors=True
-        )
+        _C_CHUNKS.inc()
+        with _span("sssp.chunk", cat="sssp", sources=k, predecessors=True):
+            dist, pred = csgraph.dijkstra(
+                mat, directed=False, indices=sources, return_predecessors=True
+            )
         return np.asarray(dist, dtype=np.float64), np.asarray(pred, dtype=np.int64)
     dist = np.empty((k, g.n), dtype=np.float64)
     pred = np.empty((k, g.n), dtype=np.int64)
     for lo in range(0, k, chunk):
         hi = min(lo + chunk, k)
-        d, p = csgraph.dijkstra(
-            mat, directed=False, indices=sources[lo:hi], return_predecessors=True
-        )
+        _C_CHUNKS.inc()
+        with _span("sssp.chunk", cat="sssp", sources=hi - lo, predecessors=True):
+            d, p = csgraph.dijkstra(
+                mat, directed=False, indices=sources[lo:hi], return_predecessors=True
+            )
         dist[lo:hi] = d
         pred[lo:hi] = p
     return dist, pred

@@ -30,11 +30,26 @@ class TestMetrics:
     def test_mteps_definition(self):
         assert mteps(1000, 5000, 2.0) == pytest.approx(2.5)
 
-    def test_mteps_zero_time(self):
-        assert mteps(10, 10, 0.0) == float("inf")
+    def test_mteps_zero_time_raises(self):
+        with pytest.raises(ValueError, match="positive time"):
+            mteps(10, 10, 0.0)
+        with pytest.raises(ValueError, match="positive time"):
+            mteps(10, 10, -1.0)
 
     def test_speedup(self):
         assert speedup(10.0, 2.0) == 5.0
+
+    def test_speedup_zero_time_raises(self):
+        with pytest.raises(ValueError, match="positive time"):
+            speedup(10.0, 0.0)
+
+    def test_fig2row_speedup_zero_time_raises(self):
+        row = Fig2Row(
+            name="x", kind="general", n=1, m=1,
+            t_ours=0.0, t_baseline=1.0, baseline="banerjee",
+        )
+        with pytest.raises(ValueError, match="positive time"):
+            row.speedup
 
     def test_geometric_mean(self):
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
