@@ -133,15 +133,64 @@ def bench_table2(scale: float) -> list[dict]:
     return rows_out
 
 
+def _phases(baseline: dict) -> dict:
+    """Flatten the section timings into the ledger/regress phase map.
+
+    These names are the contract the regression gate compares across
+    commits (``repro.obs.regress.extract_phases`` reproduces them from
+    legacy un-stamped baselines).
+    """
+    rs = baseline["repeated_sssp"]
+    pl = baseline["parallel"]
+    phases = {
+        "smoke.repeated_sssp.uncached": rs["uncached_per_source_s"],
+        "smoke.repeated_sssp.cached": rs["cached_chunked_s"],
+        "smoke.parallel.serial": pl["serial_s"],
+        "smoke.parallel.parallel": pl["parallel_s"],
+    }
+    for row in baseline["fig2"]:
+        phases[f"smoke.fig2.{row['name']}.ours"] = row["t_ours_s"]
+        phases[f"smoke.fig2.{row['name']}.baseline"] = row["t_baseline_s"]
+    for row in baseline["table2"]:
+        phases[f"smoke.table2.{row['name']}.with_ear"] = row["wall_with_ear_s"]
+        phases[f"smoke.table2.{row['name']}.without_ear"] = row["wall_without_ear_s"]
+    return phases
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.02)
     parser.add_argument(
         "--out", type=Path, default=ROOT / "BENCH_BASELINE.json"
     )
+    parser.add_argument(
+        "--ledger",
+        type=Path,
+        default=ROOT / "BENCH_LEDGER.jsonl",
+        help="append-only JSONL run ledger (see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip the ledger append (baseline file only)",
+    )
     args = parser.parse_args()
 
+    from repro.obs.ledger import (
+        SCHEMA_VERSION,
+        Ledger,
+        RunRecord,
+        git_sha,
+        host_fingerprint,
+    )
+
     baseline = {
+        # Self-describing stamp: a baseline read years later (or by the
+        # regress gate on another host) identifies its commit and schema.
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": git_sha(ROOT),
+        "created_unix": time.time(),
+        "host": host_fingerprint(),
         "scale": args.scale,
         "chunk_size": os.environ.get("REPRO_SSSP_CHUNK", "32 (default)"),
         "repeated_sssp": bench_repeated_sssp(args.scale),
@@ -149,6 +198,7 @@ def main() -> None:
         "fig2": bench_fig2(args.scale),
         "table2": bench_table2(args.scale),
     }
+    baseline["phases"] = _phases(baseline)
     # Whole-run observability counters: cache efficacy, chunk dispatch
     # volume, parallel-backend activity (repro.obs.metrics snapshot).
     from repro.obs import snapshot
@@ -169,9 +219,23 @@ def main() -> None:
         },
     }
     args.out.write_text(json.dumps(baseline, indent=2) + "\n")
+    if not args.no_ledger:
+        ledger = Ledger(args.ledger)
+        ledger.append(
+            RunRecord.new(
+                kind="bench_smoke",
+                phases=baseline["phases"],
+                counters=baseline["obs"]["counters"],
+                memory={"adjacency_cache": baseline["obs"]["adjacency_cache"]},
+                meta={"scale": args.scale, "out": str(args.out)},
+                root=ROOT,
+            )
+        )
+        print(f"appended run record to {ledger.path}")
     rs = baseline["repeated_sssp"]
     pl = baseline["parallel"]
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} (schema v{SCHEMA_VERSION}, "
+          f"sha {(baseline['git_sha'] or 'unknown')[:12]})")
     cache = baseline["obs"]["adjacency_cache"]
     print(f"adjacency cache: {cache['hits']} hits / {cache['misses']} misses")
     print(

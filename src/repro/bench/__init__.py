@@ -14,7 +14,7 @@ from .harness import (
     run_table1,
     run_table2,
 )
-from .metrics import geometric_mean, mteps, speedup
+from .metrics import geomean, geometric_mean, mteps, speedup
 from .reporting import format_kv, format_table, ratio_note
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "run_phase_breakdown",
     "run_table1",
     "run_table2",
+    "geomean",
     "geometric_mean",
     "mteps",
     "speedup",

@@ -27,7 +27,7 @@ from ..hetero.trace import simulate_trace
 from ..mcb.mehlhorn_michail import MMReport, mm_mcb
 from ..mcb.verify import verify_cycle_basis
 from ..obs.trace import span as _span
-from .metrics import geometric_mean, mteps, speedup as _speedup
+from .metrics import geomean, mteps, speedup as _speedup
 
 __all__ = [
     "Table1Row",
@@ -266,7 +266,7 @@ def run_fig5(rows: list[Table2Row]) -> dict[str, float]:
     """Average speedup of each implementation over sequential (with ear)."""
     out: dict[str, float] = {}
     for p in PLATFORM_NAMES[1:]:
-        out[p] = geometric_mean(
+        out[p] = geomean(
             r.seconds["sequential"][0] / r.seconds[p][0] for r in rows
         )
     return out
@@ -283,7 +283,7 @@ def run_fig6(rows: list[Table2Row]) -> list[dict]:
 def ear_speedup_by_impl(rows: list[Table2Row]) -> dict[str, float]:
     """Average speedup attributable to ear decomposition, per platform."""
     return {
-        p: geometric_mean(r.seconds[p][1] / r.seconds[p][0] for r in rows)
+        p: geomean(r.seconds[p][1] / r.seconds[p][0] for r in rows)
         for p in PLATFORM_NAMES
     }
 

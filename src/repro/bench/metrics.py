@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
-__all__ = ["mteps", "speedup", "geometric_mean"]
+__all__ = ["mteps", "speedup", "geomean", "geometric_mean"]
 
 
 def mteps(n: int, m: int, seconds: float) -> float:
@@ -38,9 +38,33 @@ def speedup(baseline_seconds: float, ours_seconds: float) -> float:
     return baseline_seconds / ours_seconds
 
 
+def geomean(values: Iterable[float]) -> float:
+    """Strict geometric mean (the right average for speedups).
+
+    Raises :class:`ValueError` on empty input and on nonpositive or
+    non-finite values: a summary geomean silently computed over nothing
+    (or poisoned by an ``inf``) is exactly the kind of wrong number that
+    ends up in a report.  Use :func:`geometric_mean` for exploratory code
+    that wants the lenient filter-and-NaN behaviour.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geomean() requires at least one value")
+    for v in vals:
+        if not (v > 0 and math.isfinite(v)):
+            raise ValueError(
+                f"geomean() requires positive finite values, got {v!r}"
+            )
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean (the right average for speedups)."""
+    """Lenient geometric mean: filters nonpositive/non-finite, NaN on empty.
+
+    Kept for exploratory benchmarks; harness summaries use the strict
+    :func:`geomean` so an empty or poisoned average fails loudly.
+    """
     vals = [v for v in values if v > 0 and math.isfinite(v)]
     if not vals:
         return float("nan")
-    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+    return geomean(vals)

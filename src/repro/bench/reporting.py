@@ -20,17 +20,31 @@ def format_table(
             return float_fmt.format(x)
         return str(x)
 
-    body = [[cell(x) for x in row] for row in rows]
-    cols = [list(col) for col in zip(*( [list(headers)] + body ))] if body else [[h] for h in headers]
-    widths = [max(len(c) for c in col) for col in cols]
+    headers = [str(h) for h in headers]
+    body: list[list[str]] = []
+    for i, row in enumerate(rows):
+        cells = [cell(x) for x in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"format_table: row {i} has {len(cells)} cell(s), "
+                f"expected {len(headers)} (row={list(row)!r})"
+            )
+        body.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in body:
+        for j, c in enumerate(cells):
+            if len(c) > widths[j]:
+                widths[j] = len(c)
     lines = []
     if title:
         lines.append(title)
-    sep = "-+-".join("-" * w for w in widths)
+    # The separator is built from the same widths as the header row, so
+    # the two always align — including the empty-rows case, where widths
+    # come from the headers alone.
     lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
-    lines.append(sep)
-    for row in body:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for cells in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
     return "\n".join(lines)
 
 

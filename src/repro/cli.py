@@ -10,12 +10,16 @@ Examples
     repro-bench all --scale 0.02
     repro-bench profile apsp --trace-out trace.json
     repro-bench profile mcb --datasets nopoly --scale 0.02
+    repro-bench regress --baseline BENCH_BASELINE.json --ledger BENCH_LEDGER.jsonl
+    repro-bench regress --trace-a before.json --trace-b after.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from .bench import expected
 from .bench.harness import (
@@ -28,7 +32,7 @@ from .bench.harness import (
     run_table1,
     run_table2,
 )
-from .bench.metrics import geometric_mean
+from .bench.metrics import geomean
 from .bench.reporting import format_kv, format_table, ratio_note
 
 __all__ = ["main"]
@@ -69,11 +73,15 @@ def _cmd_fig2(args) -> None:
             title="Figure 2 — APSP: Our Approach vs baselines",
         )
     )
-    gen = geometric_mean(r.speedup for r in rows if r.kind == "general")
-    pla = geometric_mean(r.speedup for r in rows if r.kind == "planar")
+    gen = [r.speedup for r in rows if r.kind == "general"]
+    pla = [r.speedup for r in rows if r.kind == "planar"]
     print()
-    print(ratio_note("avg speedup vs Banerjee (general)", expected.FIG2_AVG_SPEEDUP["vs_banerjee_general"], gen))
-    print(ratio_note("avg speedup vs Djidjev (planar)", expected.FIG2_AVG_SPEEDUP["vs_djidjev_planar"], pla))
+    # geomean() raises on empty input, so only summarize kinds that are
+    # actually present in the (possibly --datasets restricted) row set.
+    if gen:
+        print(ratio_note("avg speedup vs Banerjee (general)", expected.FIG2_AVG_SPEEDUP["vs_banerjee_general"], geomean(gen)))
+    if pla:
+        print(ratio_note("avg speedup vs Djidjev (planar)", expected.FIG2_AVG_SPEEDUP["vs_djidjev_planar"], geomean(pla)))
     if args.mteps:
         print()
         mrows = run_fig3(rows)
@@ -154,16 +162,29 @@ def _cmd_datasets(args) -> None:
     )
 
 
+def _resolve_ledger(args):
+    """The run ledger to append to: ``--ledger`` flag or ``REPRO_LEDGER``."""
+    from .obs.ledger import Ledger, default_ledger_path
+
+    path = Path(args.ledger) if getattr(args, "ledger", None) else default_ledger_path()
+    return Ledger(path) if path is not None else None
+
+
 def _cmd_qa(args) -> None:
-    from .obs import snapshot
+    import time as _time
+
+    from .obs import metrics_diff, snapshot
     from .qa.differential import run_suite
     from .sssp.engine import adjacency_cache
 
+    before = snapshot()
+    t0 = _time.perf_counter()
     reports = run_suite(
         count=args.qa_count,
         seed=args.qa_seed,
         artifacts_dir=args.qa_artifacts,
     )
+    qa_seconds = _time.perf_counter() - t0
     failed = False
     for rep in reports.values():
         print(rep.summary())
@@ -179,31 +200,106 @@ def _cmd_qa(args) -> None:
     counters = snapshot("engine.")
     counters.update(snapshot("qa."))
     print("counters: " + ", ".join(f"{k}={v}" for k, v in counters.items()))
+    ledger = _resolve_ledger(args)
+    if ledger is not None:
+        from .obs.ledger import RunRecord
+
+        ledger.append(
+            RunRecord.new(
+                kind="qa",
+                phases={"qa.suite": qa_seconds},
+                counters={
+                    k: v
+                    for k, v in metrics_diff(before, snapshot()).items()
+                    if not isinstance(v, dict)
+                },
+                meta={
+                    "count": args.qa_count,
+                    "seed": args.qa_seed,
+                    "ok": not failed,
+                },
+            )
+        )
+        print(f"ledger: appended qa record to {ledger.path}")
     if failed:
         print("conformance FAILED — disagreeing graphs serialized above")
         raise SystemExit(1)
     print("conformance OK")
 
 
+def _print_table1_measured(name: str, g, mem_gauges: dict) -> None:
+    """The measured-vs-model Table 1 block of ``profile apsp``.
+
+    Prints distance-table bytes for the per-BCC oracle (``a² + Σ nᵢ²``),
+    the ear-reduced oracle, and the dense ``n²`` matrix — the model from
+    the decompositions alongside the bytes actually allocated this run.
+    """
+    from .obs.memory import format_bytes, table1_bytes
+
+    tb = table1_bytes(g, name=name)
+    meas_comp = mem_gauges.get("memory.apsp.component_table_bytes", 0.0)
+    meas_ap = mem_gauges.get("memory.apsp.ap_table_bytes", 0.0)
+    meas_oracle = mem_gauges.get("memory.apsp.oracle_bytes", 0.0)
+    meas_reduced = mem_gauges.get("memory.apsp.reduced_table_bytes", 0.0)
+    meas_dense = mem_gauges.get("memory.apsp.dense_bytes", 0.0)
+    print(
+        format_table(
+            ["distance storage", "model bytes", "measured bytes", "human"],
+            [
+                ("component tables (Σ nᵢ²)", tb.component_bytes,
+                 int(meas_comp), format_bytes(meas_comp or tb.component_bytes)),
+                ("articulation table (a²)", tb.ap_bytes,
+                 int(meas_ap), format_bytes(meas_ap or tb.ap_bytes)),
+                ("oracle total (a² + Σ nᵢ²)", tb.oracle_bytes,
+                 int(meas_oracle), format_bytes(meas_oracle or tb.oracle_bytes)),
+                ("reduced oracle (ear)", tb.reduced_oracle_bytes,
+                 int(meas_reduced), format_bytes(meas_reduced or tb.reduced_oracle_bytes)),
+                ("dense matrix (n²)", tb.dense_bytes,
+                 int(meas_dense), format_bytes(meas_dense or tb.dense_bytes)),
+            ],
+            title=(
+                f"Table 1 (measured) — {name}: n={tb.n}, #BCC={tb.n_bcc}, "
+                f"a={tb.n_articulation}"
+            ),
+        )
+    )
+    rel = "<" if tb.oracle_bytes < tb.dense_bytes else ">="
+    print(
+        f"shape: a² + Σ nᵢ² = {tb.oracle_bytes} {rel} n² = {tb.dense_bytes} "
+        f"(saving {tb.saving_factor:.2f}x; reduced oracle "
+        f"{tb.dense_bytes / max(tb.reduced_oracle_bytes, 1):.2f}x)"
+    )
+
+
 def _cmd_profile(args) -> None:
     """``repro-bench profile <workload>`` — trace one pipeline end to end.
 
-    Runs the named workload under a fresh trace collector (ambient
-    ``REPRO_TRACE`` is not required), writes a Chrome ``trace_event`` JSON
-    when ``--trace-out`` is given, and prints the per-phase summary plus
-    the counter table.
+    Runs the named workload under a fresh trace collector *and* a memory
+    profile (ambient ``REPRO_TRACE`` is not required), writes a Chrome
+    ``trace_event`` JSON when ``--trace-out`` is given, and prints the
+    per-phase wall/memory summaries, the counter table, and — for the
+    APSP workload — the measured Table 1 byte accounting.  With a ledger
+    configured (``--ledger`` or ``REPRO_LEDGER``) the run is appended as
+    a schema-versioned record.
     """
     import numpy as np
 
     from . import datasets
-    from .obs import snapshot, summary, tracing
+    from .obs import (
+        format_bytes,
+        memory_profiling,
+        phase_totals,
+        snapshot,
+        summary,
+        tracing,
+    )
     from .obs.metrics import metrics_diff
 
     workload = args.workload or "apsp"
     name = (args.datasets or ["OPF_3754"])[0]
     g = datasets.load(name, args.scale)
     before = snapshot()
-    with tracing() as tr:
+    with tracing() as tr, memory_profiling() as mp:
         if workload in ("apsp", "both"):
             from .hetero.apsp_runner import apsp_with_trace
             from .hetero.parallel import ParallelEngine
@@ -217,6 +313,7 @@ def _cmd_profile(args) -> None:
             from .hetero.mcb_runner import mcb_with_trace
 
             mcb_with_trace(g)
+    counters = metrics_diff(before, snapshot())
     if args.trace_out:
         tr.write_chrome(args.trace_out)
         print(f"wrote Chrome trace to {args.trace_out} "
@@ -224,7 +321,139 @@ def _cmd_profile(args) -> None:
         print()
     print(f"profile of {workload!r} on {name} (n={g.n}, m={g.m})")
     print()
-    print(summary(tr, metrics_diff(before, snapshot())))
+    print(summary(tr, counters))
+    print()
+    mem = mp.as_dict()
+    if mem:
+        print(
+            format_table(
+                ["memory span", "count", "alloc Δ", "alloc peak", "rss peak"],
+                [
+                    (
+                        phase,
+                        row["count"],
+                        format_bytes(row["delta_bytes"]),
+                        format_bytes(row["peak_bytes"]),
+                        "-" if row["rss_peak_bytes"] is None
+                        else format_bytes(row["rss_peak_bytes"]),
+                    )
+                    for phase, row in mem.items()
+                ],
+                title="per-phase memory (tracemalloc; RSS is a process high-water)",
+            )
+        )
+        print()
+    if workload in ("apsp", "both"):
+        _print_table1_measured(name, g, snapshot("memory."))
+    ledger = _resolve_ledger(args)
+    if ledger is not None:
+        from .obs.ledger import RunRecord
+
+        ledger.append(
+            RunRecord.new(
+                kind="profile",
+                phases=phase_totals(tr),
+                counters={
+                    k: v for k, v in counters.items() if not isinstance(v, dict)
+                },
+                memory={"spans": mem, "gauges": snapshot("memory.")},
+                meta={"workload": workload, "dataset": name, "scale": args.scale},
+            )
+        )
+        print()
+        print(f"ledger: appended profile record to {ledger.path}")
+
+
+def _cmd_regress(args) -> None:
+    """``repro-bench regress`` — the noise-aware benchmark gate.
+
+    Compares a candidate run (``--candidate`` record, or a fresh
+    median-of-``--repeats`` measurement of the profile workload) against
+    the per-phase history assembled from the run ledger and/or a stamped
+    ``BENCH_BASELINE.json``.  Exits 0 when no phase clears both the
+    relative-tolerance and MAD noise bands, 1 on a confirmed regression,
+    2 when there is no baseline data to compare against.  With
+    ``--trace-a/--trace-b`` it instead diffs two Chrome trace files and
+    reports which span moved.
+    """
+    from .obs.ledger import Ledger, RunRecord
+    from .obs.regress import (
+        compare,
+        diff_chrome_traces,
+        extract_phases,
+        measure_profile_phases,
+    )
+
+    if args.trace_a or args.trace_b:
+        if not (args.trace_a and args.trace_b):
+            raise SystemExit("regress: --trace-a and --trace-b are both required")
+        with open(args.trace_a) as fh:
+            doc_a = json.load(fh)
+        with open(args.trace_b) as fh:
+            doc_b = json.load(fh)
+        rows = diff_chrome_traces(doc_a, doc_b)
+        print(
+            format_table(
+                ["span", "A (s)", "B (s)", "delta (s)", "B/A"],
+                [
+                    (r["name"], r["a_s"], r["b_s"], r["delta_s"], r["ratio"])
+                    for r in rows
+                ],
+                title=f"Chrome-trace diff: {args.trace_a} -> {args.trace_b}",
+            )
+        )
+        return
+
+    history: dict[str, list[float]] = {}
+    ledger = None
+    if args.ledger:
+        ledger = Ledger(args.ledger)
+        history = ledger.phase_history(limit=args.history)
+        if ledger.skipped:
+            print(f"ledger: skipped {ledger.skipped} unreadable record(s)")
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is not None and baseline_path.exists():
+        with open(baseline_path) as fh:
+            doc = json.load(fh)
+        for phase, secs in extract_phases(doc).items():
+            history.setdefault(phase, []).append(secs)
+    if not history:
+        print(
+            "regress: no baseline data (no readable --ledger records and no "
+            "--baseline file) — nothing to gate against"
+        )
+        raise SystemExit(2)
+
+    if args.candidate:
+        with open(args.candidate) as fh:
+            candidate = extract_phases(json.load(fh))
+        cand_desc = args.candidate
+    else:
+        workload = args.workload or "apsp"
+        name = (args.datasets or ["OPF_3754"])[0]
+        candidate = measure_profile_phases(
+            workload=workload, dataset=name, scale=args.scale,
+            repeats=args.repeats,
+        )
+        cand_desc = f"median of {args.repeats} fresh {workload!r} run(s) on {name}"
+    print(f"candidate: {cand_desc}")
+    print()
+    report = compare(
+        history,
+        candidate,
+        rel_tol=args.rel_tol,
+        mad_k=args.mad_k,
+        min_seconds=args.min_seconds,
+    )
+    print(report.render())
+    if report.compared == 0:
+        print("regress: baseline and candidate share no comparable phases")
+        raise SystemExit(2)
+    if args.record and ledger is not None:
+        ledger.append(RunRecord.new(kind="regress", phases=candidate))
+        print(f"ledger: appended candidate record to {ledger.path}")
+    if not report.ok:
+        raise SystemExit(1)
 
 
 def _cmd_all(args) -> None:
@@ -240,14 +469,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=["table1", "fig2", "table2", "phases", "datasets", "qa", "profile", "all"],
+        choices=[
+            "table1", "fig2", "table2", "phases", "datasets", "qa",
+            "profile", "regress", "all",
+        ],
     )
     parser.add_argument(
         "workload",
         nargs="?",
         default=None,
         choices=["apsp", "mcb", "both"],
-        help="profile: which pipeline to trace (default apsp)",
+        help="profile/regress: which pipeline to trace (default apsp)",
     )
     parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
     parser.add_argument("--datasets", nargs="*", default=None, help="restrict to named datasets")
@@ -271,6 +503,68 @@ def main(argv: list[str] | None = None) -> int:
         default=2,
         help="profile: worker count for the parallel-backend burst",
     )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="path of the append-only JSONL run ledger "
+             "(default: REPRO_LEDGER; unset = no ledger writes)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_BASELINE.json",
+        help="regress: stamped BENCH_BASELINE.json to gate against",
+    )
+    parser.add_argument(
+        "--candidate",
+        default=None,
+        help="regress: candidate run record / baseline JSON "
+             "(default: measure a fresh candidate now)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="regress: repeats for the median-of-repeats fresh candidate",
+    )
+    parser.add_argument(
+        "--history",
+        type=int,
+        default=20,
+        help="regress: newest ledger records to build the noise model from",
+    )
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.25,
+        help="regress: relative slowdown tolerance per phase",
+    )
+    parser.add_argument(
+        "--mad-k",
+        type=float,
+        default=5.0,
+        help="regress: MAD-band multiplier (noise model width)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=1e-3,
+        help="regress: absolute noise floor below which phases never flag",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="regress: append the judged candidate to the ledger",
+    )
+    parser.add_argument(
+        "--trace-a",
+        default=None,
+        help="regress: first Chrome trace for the span-level differ",
+    )
+    parser.add_argument(
+        "--trace-b",
+        default=None,
+        help="regress: second Chrome trace for the span-level differ",
+    )
     args = parser.parse_args(argv)
     {
         "table1": _cmd_table1,
@@ -280,6 +574,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "qa": _cmd_qa,
         "profile": _cmd_profile,
+        "regress": _cmd_regress,
         "all": _cmd_all,
     }[args.command](args)
     return 0

@@ -20,6 +20,8 @@ from ..apsp.composition import assemble_full_matrix, build_component_tables
 from ..apsp.ear_apsp import extend_reduced_distances
 from ..decomposition.reduce import reduce_graph
 from ..graph.csr import CSRGraph
+from ..obs import metrics as _metrics
+from ..obs.memory import memory_span as _memory_span, publish_apsp_table_gauges
 from ..obs.trace import span as _span
 from ..sssp.engine import multi_source, resolve_chunk_size
 from .executor import Platform
@@ -56,32 +58,53 @@ def apsp_with_trace(
 
     # Wall-clock spans use the paper's Section 2.4 phase names, so a
     # Chrome trace of this driver reads as the preprocess / process /
-    # post-process split directly.
-    with _span("preprocess", cat="apsp", stage="decompose", n=g.n, m=g.m):
+    # post-process split directly.  Memory spans mirror them: with
+    # obs.memory profiling active, each phase also records its tracemalloc
+    # delta/peak and the process RSS high-water (docs/OBSERVABILITY.md).
+    with _span("preprocess", cat="apsp", stage="decompose", n=g.n, m=g.m), \
+            _memory_span("apsp.preprocess"):
         bcc = biconnected_components(g)
     trace.new_stage("decompose").add(g.m * BYTES_REDUCE_PER_EDGE, g.m)
 
+    # Measured Table 1: the reduced per-component solve matrices actually
+    # allocated this run (Σ nᵢʳ² entries at 8 B), vs the per-BCC tables
+    # and the dense n² matrix published below.
+    reduced_bytes = 0
+
     def traced_solver(sub: CSRGraph) -> np.ndarray:
+        nonlocal reduced_bytes
         if use_ear:
-            with _span("preprocess", cat="apsp", stage="reduce", n=sub.n):
+            with _span("preprocess", cat="apsp", stage="reduce", n=sub.n), \
+                    _memory_span("apsp.preprocess"):
                 red = reduce_graph(sub)
             trace.new_stage("reduce").add(sub.m * BYTES_REDUCE_PER_EDGE, sub.m)
             simple = red.simple_graph()
             _record_dijkstra(trace, simple.n, simple.m, chunk)
-            with _span("process", cat="apsp", stage="dijkstra", n=simple.n):
+            with _span("process", cat="apsp", stage="dijkstra", n=simple.n), \
+                    _memory_span("apsp.process"):
                 s_r = multi_source(simple, np.arange(simple.n), chunk_size=chunk)
-            with _span("postprocess", cat="apsp", stage="extend", n=sub.n):
+            reduced_bytes += int(s_r.nbytes) + 3 * red.n_removed * 8
+            with _span("postprocess", cat="apsp", stage="extend", n=sub.n), \
+                    _memory_span("apsp.postprocess"):
                 full = extend_reduced_distances(red, s_r)
             trace.new_stage("postprocess", divisible=True).add(
                 sub.n * sub.n * BYTES_POSTPROCESS_PER_ENTRY, sub.n * sub.n
             )
             return full
         _record_dijkstra(trace, sub.n, sub.m, chunk)
-        with _span("process", cat="apsp", stage="dijkstra", n=sub.n):
-            return multi_source(sub, np.arange(sub.n), chunk_size=chunk)
+        with _span("process", cat="apsp", stage="dijkstra", n=sub.n), \
+                _memory_span("apsp.process"):
+            out = multi_source(sub, np.arange(sub.n), chunk_size=chunk)
+        reduced_bytes += int(out.nbytes)
+        return out
 
     ct = build_component_tables(g, solver=traced_solver, bcc=bcc)
-    with _span("postprocess", cat="apsp", stage="assemble", n=g.n):
+    publish_apsp_table_gauges(ct, g.n)
+    _metrics.gauge("memory.apsp.reduced_table_bytes").set(
+        reduced_bytes + int(ct.ap_matrix.nbytes)
+    )
+    with _span("postprocess", cat="apsp", stage="assemble", n=g.n), \
+            _memory_span("apsp.postprocess"):
         mat = assemble_full_matrix(g, ct)
     a = len(ct.ap_ids)
     if a:

@@ -25,6 +25,8 @@ from ..graph.csr import CSRGraph
 from ..mcb import gf2
 from ..mcb.cycle import Cycle
 from ..mcb.mehlhorn_michail import MMContext
+from ..obs import metrics as _metrics
+from ..obs.memory import memory_span as _memory_span
 from ..obs.trace import span as _span
 from .executor import Platform
 from .trace import SimulationResult, WorkTrace, simulate_trace
@@ -45,6 +47,12 @@ BYTES_SCAN_PER_CANDIDATE = 16.0
 BYTES_UPDATE_PER_WORD = 24.0
 BYTES_REDUCE_PER_EDGE = 24.0
 
+# Per-run peaks of the GF(2) witness matrix and the Horton candidate
+# store, in actual bytes; zeroed at the top of every mcb_with_trace run
+# and raised per component (the biggest BCC dominates).
+_G_WITNESS_BYTES = _metrics.gauge("memory.mcb.witness_bytes")
+_G_STORE_BYTES = _metrics.gauge("memory.mcb.candidate_store_bytes")
+
 
 def mcb_with_trace(
     g: CSRGraph,
@@ -57,7 +65,10 @@ def mcb_with_trace(
     # Same Section 2.4 phase names as the APSP driver: preprocess
     # (decompose + reduce), process (the MM phases), postprocess (Lemma 3.1
     # cycle expansion back onto G).
-    with _span("preprocess", cat="mcb", stage="decompose", n=g.n, m=g.m):
+    _G_WITNESS_BYTES.set(0.0)
+    _G_STORE_BYTES.set(0.0)
+    with _span("preprocess", cat="mcb", stage="decompose", n=g.n, m=g.m), \
+            _memory_span("mcb.preprocess"):
         bcc = biconnected_components(g)
     trace.new_stage("decompose").add(g.m * BYTES_REDUCE_PER_EDGE, g.m)
 
@@ -72,16 +83,19 @@ def mcb_with_trace(
         if sub.cycle_space_dimension() == 0:
             continue
         if use_ear:
-            with _span("preprocess", cat="mcb", stage="reduce", n=sub.n):
+            with _span("preprocess", cat="mcb", stage="reduce", n=sub.n), \
+                    _memory_span("mcb.preprocess"):
                 red = reduce_graph(sub)
             solve_on = red.graph
             trace.new_stage("reduce").add(sub.m * BYTES_REDUCE_PER_EDGE, sub.m)
         else:
             red = None
             solve_on = sub
-        with _span("process", cat="mcb", stage="mehlhorn_michail", n=solve_on.n):
+        with _span("process", cat="mcb", stage="mehlhorn_michail", n=solve_on.n), \
+                _memory_span("mcb.process"):
             cycles = _mm_traced(solve_on, trace, lca_filter, block_size)
-        with _span("postprocess", cat="mcb", stage="expand", cycles=len(cycles)):
+        with _span("postprocess", cat="mcb", stage="expand", cycles=len(cycles)), \
+                _memory_span("mcb.postprocess"):
             for cyc in cycles:
                 sub_eids = (
                     red.expand_cycle(cyc.edge_ids) if red is not None else cyc.edge_ids
@@ -112,6 +126,8 @@ def _mm_traced(
 
     store = ctx.new_store()
     witnesses = gf2.identity(f)
+    _G_WITNESS_BYTES.set(max(_G_WITNESS_BYTES.value, int(witnesses.nbytes)))
+    _G_STORE_BYTES.set(max(_G_STORE_BYTES.value, store.memory_bytes()))
 
     cycles: list[Cycle] = []
     for i in range(f):

@@ -71,6 +71,19 @@ class CandidateStore:
     def __len__(self) -> int:
         return self._size
 
+    def memory_bytes(self) -> int:
+        """Actual bytes held by the block chain (id arrays + alive masks).
+
+        Feeds the ``memory.mcb.candidate_store_bytes`` gauge so Table-1
+        style memory accounting covers the MCB side of the pipeline too.
+        """
+        total = 0
+        blk = self._head
+        while blk is not None:
+            total += int(blk.ids.nbytes) + int(blk.alive.nbytes)
+            blk = blk.next
+        return total
+
     def scan_and_remove(
         self, predicate: Callable[[np.ndarray], np.ndarray]
     ) -> int | None:

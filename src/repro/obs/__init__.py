@@ -15,6 +15,15 @@ This package makes that accounting first-class for the reproduction:
 * :mod:`repro.obs.export` — Chrome-trace serialization and the
   ``summary()`` pretty-printer (per-phase wall time, % of total, counter
   table).
+* :mod:`repro.obs.memory` — per-phase memory spans (tracemalloc
+  current/peak + peak RSS) and the exact byte accounting behind the
+  paper's Table 1 (``a² + Σ nᵢ²`` vs dense ``n²``).
+* :mod:`repro.obs.ledger` — the append-only JSONL run database: every
+  benchmark run stamped with git SHA, host fingerprint, knobs, per-phase
+  times, counters, and memory stats.
+* :mod:`repro.obs.regress` — the noise-aware regression gate over the
+  ledger (median + MAD bands, per-phase attribution) plus the
+  Chrome-trace differ; surfaced as ``repro-bench regress``.
 
 Enable tracing with the ``REPRO_TRACE`` environment variable (``1`` to
 collect, a ``*.json`` path to also write a Chrome trace at process exit)
@@ -34,6 +43,29 @@ open the traces in Perfetto.
 from __future__ import annotations
 
 from .export import chrome_trace, summary, validate_chrome_trace, write_chrome_trace
+from .ledger import (
+    SCHEMA_VERSION,
+    Ledger,
+    LedgerError,
+    RunRecord,
+    default_ledger_path,
+    git_sha,
+    host_fingerprint,
+    repro_knobs,
+)
+from .memory import (
+    MemoryProfile,
+    MemSpan,
+    Table1Bytes,
+    current_memory_profile,
+    format_bytes,
+    measured_component_bytes,
+    memory_profiling,
+    memory_profiling_enabled,
+    memory_span,
+    peak_rss_bytes,
+    table1_bytes,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -46,6 +78,15 @@ from .metrics import (
     registry,
     reset_metrics,
     snapshot,
+)
+from .regress import (
+    PhaseVerdict,
+    RegressionReport,
+    compare,
+    diff_chrome_traces,
+    extract_phases,
+    measure_profile_phases,
+    phase_totals,
 )
 from .trace import (
     Span,
@@ -81,4 +122,33 @@ __all__ = [
     "write_chrome_trace",
     "validate_chrome_trace",
     "summary",
+    # memory
+    "MemSpan",
+    "MemoryProfile",
+    "memory_profiling",
+    "memory_span",
+    "memory_profiling_enabled",
+    "current_memory_profile",
+    "peak_rss_bytes",
+    "Table1Bytes",
+    "table1_bytes",
+    "measured_component_bytes",
+    "format_bytes",
+    # ledger
+    "SCHEMA_VERSION",
+    "Ledger",
+    "LedgerError",
+    "RunRecord",
+    "default_ledger_path",
+    "git_sha",
+    "host_fingerprint",
+    "repro_knobs",
+    # regress
+    "PhaseVerdict",
+    "RegressionReport",
+    "compare",
+    "diff_chrome_traces",
+    "extract_phases",
+    "measure_profile_phases",
+    "phase_totals",
 ]

@@ -63,9 +63,18 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming count / sum / min / max of observed values."""
+    """Streaming count / sum / min / max of observed values.
 
-    __slots__ = ("name", "count", "sum", "min", "max")
+    The first :data:`MAX_SAMPLES` observations are additionally retained
+    verbatim so :meth:`percentile` can answer exactly; beyond the cap the
+    aggregates stay exact while percentiles describe the retained prefix
+    (the repo's instruments observe well under the cap per run).
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "samples")
+
+    #: Retention cap for exact percentile queries.
+    MAX_SAMPLES = 4096
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -73,6 +82,7 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.samples: list[float] = []
 
     def observe(self, v: float) -> None:
         v = float(v)
@@ -82,10 +92,30 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
+        if len(self.samples) < self.MAX_SAMPLES:
+            self.samples.append(v)
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0–100) with linear interpolation.
+
+        A single sample answers every ``p`` with itself; all-equal samples
+        answer with the common value.  Raises :class:`ValueError` for an
+        empty histogram or ``p`` outside [0, 100].
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p!r} outside [0, 100]")
+        if not self.samples:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        ordered = sorted(self.samples)
+        rank = (len(ordered) - 1) * (p / 100.0)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def as_dict(self) -> dict:
         return {
@@ -160,6 +190,7 @@ class MetricsRegistry:
                 else:
                     inst.count, inst.sum = 0, 0.0
                     inst.min, inst.max = math.inf, -math.inf
+                    inst.samples.clear()
 
 
 def metrics_diff(before: dict, after: dict) -> dict:

@@ -46,6 +46,9 @@ _C_HITS = _metrics.counter("engine.adj_cache.hits")
 _C_MISSES = _metrics.counter("engine.adj_cache.misses")
 _C_CHUNKS = _metrics.counter("engine.chunks_dispatched")
 _C_SOURCES = _metrics.counter("engine.sources_dispatched")
+# Resident bytes of the process-wide adjacency cache (Table-1 style
+# memory accounting for the engine layer; see repro.obs.memory).
+_G_CACHE_BYTES = _metrics.gauge("memory.engine.adj_cache_bytes")
 
 __all__ = [
     "ZERO_WEIGHT_NUDGE",
@@ -95,6 +98,11 @@ class CacheInfo:
     misses: int
     size: int
     maxsize: int
+    bytes: int = 0  # resident scipy-CSR storage (data + indices + indptr)
+
+
+def _csr_nbytes(mat: sp.csr_matrix) -> int:
+    return int(mat.data.nbytes) + int(mat.indices.nbytes) + int(mat.indptr.nbytes)
 
 
 class AdjacencyCache:
@@ -113,6 +121,7 @@ class AdjacencyCache:
         self._entries: OrderedDict[str, sp.csr_matrix] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._bytes = 0
 
     def get(self, g: CSRGraph) -> sp.csr_matrix:
         """Cached adjacency of ``g`` (building + inserting on miss)."""
@@ -128,9 +137,16 @@ class AdjacencyCache:
         with _span("engine.adjacency_build", cat="sssp", n=g.n, m=g.m):
             mat = adjacency_matrix(g)
         self._entries[key] = mat
+        self._bytes += _csr_nbytes(mat)
         if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= _csr_nbytes(evicted)
+        _G_CACHE_BYTES.set(self._bytes)
         return mat
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of every cached scipy adjacency."""
+        return self._bytes
 
     def info(self) -> CacheInfo:
         return CacheInfo(
@@ -138,12 +154,15 @@ class AdjacencyCache:
             misses=self.misses,
             size=len(self._entries),
             maxsize=self.maxsize,
+            bytes=self._bytes,
         )
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self._bytes = 0
+        _G_CACHE_BYTES.set(0.0)
 
 
 _GLOBAL_CACHE = AdjacencyCache(maxsize=int(os.environ.get("REPRO_ADJ_CACHE", 128)))

@@ -56,6 +56,36 @@ class TestMetrics:
         assert np.isnan(geometric_mean([]))
         assert geometric_mean([2.0, float("inf")]) == pytest.approx(2.0)
 
+    def test_geomean(self):
+        from repro.bench import geomean
+
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([8.0]) == pytest.approx(8.0)
+
+    def test_geomean_empty_raises(self):
+        from repro.bench import geomean
+
+        with pytest.raises(ValueError, match="at least one value"):
+            geomean([])
+        with pytest.raises(ValueError, match="at least one value"):
+            geomean(iter(()))  # generators too, not just lists
+
+    def test_geomean_rejects_nonpositive_and_nonfinite(self):
+        from repro.bench import geomean
+
+        with pytest.raises(ValueError, match="positive finite"):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError, match="positive finite"):
+            geomean([1.0, -2.0])
+        with pytest.raises(ValueError, match="positive finite"):
+            geomean([1.0, float("inf")])
+
+    def test_geometric_mean_is_the_lenient_wrapper(self):
+        # The legacy helper filters junk and returns NaN instead of raising
+        # — the behaviour summary printers rely on.
+        assert geometric_mean([0.0, float("nan")]) is not None
+        assert np.isnan(geometric_mean([0.0]))
+
 
 class TestReporting:
     def test_format_table(self):
@@ -65,6 +95,22 @@ class TestReporting:
     def test_format_table_empty(self):
         out = format_table(["x"], [])
         assert "x" in out
+
+    def test_format_table_empty_separator_matches_header_width(self):
+        # With no body rows, the rule must still be as wide as the header.
+        out = format_table(["wide-header", "x"], [])
+        lines = out.splitlines()
+        header = next(l for l in lines if "wide-header" in l)
+        rules = [l for l in lines if l and set(l) <= {"-", "+"}]
+        assert rules and all(len(r) == len(header) for r in rules)
+
+    def test_format_table_ragged_row_raises_with_index(self):
+        with pytest.raises(ValueError, match=r"row 1 has 3 cell\(s\), expected 2"):
+            format_table(["a", "b"], [(1, 2), (3, 4, 5)])
+
+    def test_format_table_short_row_raises(self):
+        with pytest.raises(ValueError, match=r"row 0 has 1 cell\(s\), expected 3"):
+            format_table(["a", "b", "c"], [(1,)])
 
     def test_format_kv(self):
         out = format_kv({"alpha": 1.5, "b": "x"})

@@ -41,6 +41,8 @@ def baseline(tmp_path_factory):
             "0.02",
             "--out",
             str(out),
+            "--ledger",
+            str(out.parent / "ledger.jsonl"),
         ],
         check=True,
         env=env,

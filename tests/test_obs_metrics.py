@@ -59,6 +59,60 @@ class TestInstruments:
             reg.gauge("x")
 
 
+class TestHistogramPercentiles:
+    def test_single_sample_answers_every_p(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(7.5)
+        for p in (0, 25, 50, 99, 100):
+            assert h.percentile(p) == 7.5
+
+    def test_all_equal_samples(self):
+        h = MetricsRegistry().histogram("h")
+        for _ in range(10):
+            h.observe(3.0)
+        assert h.percentile(0) == 3.0
+        assert h.percentile(50) == 3.0
+        assert h.percentile(100) == 3.0
+
+    def test_linear_interpolation(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+        assert h.percentile(50) == pytest.approx(2.5)
+
+    def test_empty_raises(self):
+        h = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError, match="no samples"):
+            h.percentile(50)
+
+    def test_out_of_range_p_raises(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError, match=r"outside \[0, 100\]"):
+            h.percentile(101)
+        with pytest.raises(ValueError, match=r"outside \[0, 100\]"):
+            h.percentile(-0.5)
+
+    def test_sample_retention_cap(self):
+        h = MetricsRegistry().histogram("h")
+        for i in range(h.MAX_SAMPLES + 50):
+            h.observe(float(i))
+        assert len(h.samples) == h.MAX_SAMPLES
+        assert h.count == h.MAX_SAMPLES + 50  # aggregates stay exact
+        assert h.max == float(h.MAX_SAMPLES + 49)
+
+    def test_reset_clears_samples(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(1.0)
+        reg.reset()
+        assert h.samples == []
+        with pytest.raises(ValueError, match="no samples"):
+            h.percentile(50)
+
+
 class TestRegistry:
     def test_snapshot_sorted_and_prefixed(self):
         reg = MetricsRegistry()
@@ -89,6 +143,19 @@ class TestRegistry:
         assert d["g"] == 0.9        # gauges report "after"
         assert d["h"]["count"] == 3 and d["h"]["sum"] == pytest.approx(4.0)
         assert d["new"] == 7        # absent-before counts from zero
+
+    def test_metrics_diff_decreasing_gauge(self):
+        # Gauges are last-write-wins: a *decrease* between snapshots must
+        # surface as the (smaller) after value, never a negative delta.
+        before = {"mem.bytes": 1024.0, "c": 5}
+        after = {"mem.bytes": 256.0, "c": 5}
+        d = metrics_diff(before, after)
+        assert d["mem.bytes"] == 256.0
+        assert d["c"] == 0
+
+    def test_metrics_diff_gauge_dropping_to_zero(self):
+        d = metrics_diff({"g": 7.5}, {"g": 0.0})
+        assert d["g"] == 0.0
 
     def test_module_reset_helper(self):
         from repro.obs import counter
