@@ -9,9 +9,12 @@ Examples
     repro-bench table2 --datasets nopoly as-22july06
     repro-bench all --scale 0.02
     repro-bench profile apsp --trace-out trace.json
+    repro-bench profile apsp --events-out run-events --ledger RUN_LEDGER.jsonl
     repro-bench profile mcb --datasets nopoly --scale 0.02
     repro-bench regress --baseline BENCH_BASELINE.json --ledger BENCH_LEDGER.jsonl
     repro-bench regress --trace-a before.json --trace-b after.json
+    repro-bench watch --once --events run-events
+    repro-bench report --ledger RUN_LEDGER.jsonl --out run-report.html
 """
 
 from __future__ import annotations
@@ -276,12 +279,17 @@ def _cmd_profile(args) -> None:
 
     Runs the named workload under a fresh trace collector *and* a memory
     profile (ambient ``REPRO_TRACE`` is not required), writes a Chrome
-    ``trace_event`` JSON when ``--trace-out`` is given, and prints the
-    per-phase wall/memory summaries, the counter table, and — for the
+    ``trace_event`` JSON when ``--trace-out`` is given (with the
+    simulated platform's virtual device clocks as extra tracks), records
+    a structured event stream when ``--events-out`` is given, and prints
+    the per-phase wall/memory summaries, the counter table, and — for the
     APSP workload — the measured Table 1 byte accounting.  With a ledger
     configured (``--ledger`` or ``REPRO_LEDGER``) the run is appended as
-    a schema-versioned record.
+    a schema-versioned record that also points at the event stream and
+    trace file, so ``repro-bench report`` can reassemble the run later.
     """
+    import contextlib
+
     import numpy as np
 
     from . import datasets
@@ -293,29 +301,47 @@ def _cmd_profile(args) -> None:
         summary,
         tracing,
     )
+    from .obs.events import events_to
     from .obs.metrics import metrics_diff
 
     workload = args.workload or "apsp"
     name = (args.datasets or ["OPF_3754"])[0]
     g = datasets.load(name, args.scale)
     before = snapshot()
-    with tracing() as tr, memory_profiling() as mp:
+    clocks: dict | None = None
+    ev_ctx = events_to(args.events_out) if args.events_out else contextlib.nullcontext()
+    with ev_ctx, tracing() as tr, memory_profiling() as mp:
         if workload in ("apsp", "both"):
             from .hetero.apsp_runner import apsp_with_trace
+            from .hetero.executor import Platform
             from .hetero.parallel import ParallelEngine
+            from .hetero.trace import simulate_trace
 
-            apsp_with_trace(g)
+            _, work_trace = apsp_with_trace(g)
             # A short parallel-backend burst so the trace carries
             # per-worker tracks alongside the serial pipeline spans.
             with ParallelEngine(g, workers=args.workers) as eng:
                 eng.multi_source(np.arange(min(g.n, 128), dtype=np.int64))
+            # Replay on the simulated CPU+GPU platform with per-interval
+            # clock accounting: the virtual device tracks ride along in
+            # the Chrome trace (and the report's occupancy timeline).
+            platform = Platform.heterogeneous()
+            simulate_trace(work_trace, platform, record_samples=True)
+            clocks = {d.name: d.clock for d in platform.devices}
         if workload in ("mcb", "both"):
             from .hetero.mcb_runner import mcb_with_trace
 
             mcb_with_trace(g)
     counters = metrics_diff(before, snapshot())
+    if args.events_out:
+        from .obs.events import EventLog
+
+        log = EventLog(args.events_out)
+        n_events = len(log.read())
+        print(f"wrote {n_events} events to {args.events_out}/ "
+              f"({len(log.shards())} shard(s); view with repro-bench watch --once)")
     if args.trace_out:
-        tr.write_chrome(args.trace_out)
+        tr.write_chrome(args.trace_out, clocks=clocks)
         print(f"wrote Chrome trace to {args.trace_out} "
               f"({len(tr)} spans; open in chrome://tracing or ui.perfetto.dev)")
         print()
@@ -343,12 +369,24 @@ def _cmd_profile(args) -> None:
             )
         )
         print()
+    memory_block = {"spans": mem, "gauges": snapshot("memory.")}
     if workload in ("apsp", "both"):
         _print_table1_measured(name, g, snapshot("memory."))
+        from .obs.memory import table1_bytes
+
+        memory_block["table1_model"] = table1_bytes(g, name=name).as_dict()
     ledger = _resolve_ledger(args)
     if ledger is not None:
         from .obs.ledger import RunRecord
 
+        # events_dir / trace_path are free-form meta keys: old readers
+        # ignore them, the report command uses them to locate this run's
+        # event stream and Chrome trace from the ledger alone.
+        meta = {"workload": workload, "dataset": name, "scale": args.scale}
+        if args.events_out:
+            meta["events_dir"] = str(Path(args.events_out).resolve())
+        if args.trace_out:
+            meta["trace_path"] = str(Path(args.trace_out).resolve())
         ledger.append(
             RunRecord.new(
                 kind="profile",
@@ -356,8 +394,8 @@ def _cmd_profile(args) -> None:
                 counters={
                     k: v for k, v in counters.items() if not isinstance(v, dict)
                 },
-                memory={"spans": mem, "gauges": snapshot("memory.")},
-                meta={"workload": workload, "dataset": name, "scale": args.scale},
+                memory=memory_block,
+                meta=meta,
             )
         )
         print()
@@ -456,6 +494,116 @@ def _cmd_regress(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_watch(args) -> None:
+    """``repro-bench watch`` — live terminal view over an event stream.
+
+    Renders one status frame per ``--interval`` seconds from the event
+    directory (``--events``, or ``REPRO_EVENTS``): open pipeline phases,
+    per-device queue grabs and shares, queue depth, sssp chunk
+    throughput, and per-worker heartbeat ages with stall flags.
+    ``--once`` renders a single frame and exits — recorded streams are
+    rendered with end-of-run ages rather than wall-clock-since ages.
+    """
+    import time as _time
+
+    from .obs.events import EventLog, default_events_dir
+    from .obs.watch import render_status
+
+    events_dir = args.events or default_events_dir()
+    if events_dir is None:
+        raise SystemExit(
+            "watch: no event directory (pass --events DIR or set REPRO_EVENTS)"
+        )
+    log = EventLog(events_dir)
+    if args.once:
+        frame = render_status(log.read(), stall_after=args.stall_after)
+        print(f"watching {events_dir} (single frame)")
+        print(frame)
+        if log.skipped:
+            print(f"({log.skipped} unreadable line(s) skipped)")
+        return
+    try:
+        while True:
+            frame = render_status(
+                log.read(),
+                now_ns=_time.perf_counter_ns(),
+                stall_after=args.stall_after,
+            )
+            print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+            print(f"watching {events_dir} (ctrl-c to stop)")
+            print(frame)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+
+
+def _cmd_report(args) -> None:
+    """``repro-bench report`` — self-contained single-file HTML run report.
+
+    Assembles the five report sections from whatever inputs exist: the
+    Chrome trace (``--trace``), the event stream (``--events``), and the
+    run ledger (``--ledger`` / ``REPRO_LEDGER``) for counters, memory,
+    history, and the regression verdict.  When a ledgered profile record
+    carries ``events_dir`` / ``trace_path`` meta (written by ``profile``
+    runs), those are used automatically unless overridden.
+    """
+    from .obs.events import EventLog
+    from .obs.ledger import Ledger, default_ledger_path
+    from .obs.report import validate_report, write_report
+
+    record = None
+    history = None
+    ledger_path = Path(args.ledger) if args.ledger else default_ledger_path()
+    if ledger_path is not None and Path(ledger_path).exists():
+        ledger = Ledger(ledger_path)
+        history = ledger.records(kind="profile") or None
+        record = history[-1] if history else ledger.latest()
+        if ledger.skipped:
+            print(f"ledger: skipped {ledger.skipped} unreadable record(s)")
+
+    trace_path = args.trace
+    events_dir = args.events
+    if record is not None:
+        if trace_path is None:
+            trace_path = record.meta.get("trace_path")
+        if events_dir is None:
+            events_dir = record.meta.get("events_dir")
+
+    trace = None
+    if trace_path and Path(trace_path).exists():
+        with open(trace_path) as fh:
+            trace = json.load(fh)
+    events = None
+    if events_dir and Path(events_dir).is_dir():
+        log = EventLog(events_dir)
+        events = log.read()
+        if log.skipped:
+            print(f"events: skipped {log.skipped} unreadable line(s)")
+
+    title = "repro run report"
+    if record is not None:
+        wl = record.meta.get("workload")
+        ds = record.meta.get("dataset")
+        if wl or ds:
+            title = f"repro run report — {wl or '?'} on {ds or '?'}"
+    out = args.out or "run-report.html"
+    write_report(
+        out, title=title, trace=trace, events=events, record=record, history=history
+    )
+    with open(out) as fh:
+        problems = validate_report(fh.read())
+    if problems:
+        for p in problems:
+            print(f"report INVALID: {p}")
+        raise SystemExit(1)
+    srcs = [
+        f"trace={trace_path}" if trace is not None else None,
+        f"events={events_dir}" if events is not None else None,
+        f"ledger={ledger_path}" if record is not None else None,
+    ]
+    print(f"wrote report to {out} ({', '.join(s for s in srcs if s) or 'no inputs'})")
+
+
 def _cmd_all(args) -> None:
     for fn in (_cmd_table1, _cmd_fig2, _cmd_table2, _cmd_phases):
         fn(args)
@@ -471,7 +619,7 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             "table1", "fig2", "table2", "phases", "datasets", "qa",
-            "profile", "regress", "all",
+            "profile", "regress", "watch", "report", "all",
         ],
     )
     parser.add_argument(
@@ -496,6 +644,47 @@ def main(argv: list[str] | None = None) -> int:
         "--trace-out",
         default=None,
         help="profile: path for the Chrome trace_event JSON",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        help="profile: directory for the structured event stream "
+             "(per-pid JSONL shards; read back with watch/report)",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        help="watch/report: event-stream directory to read "
+             "(default: REPRO_EVENTS, or the ledgered run's events_dir)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        help="report: Chrome trace JSON to render "
+             "(default: the ledgered run's trace_path)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="report: output HTML path (default run-report.html)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="watch: render a single frame and exit",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="watch: seconds between frames",
+    )
+    parser.add_argument(
+        "--stall-after",
+        type=float,
+        default=None,
+        help="watch: heartbeat age (s) past which a worker is flagged "
+             "stalled (default: REPRO_WATCH_STALL or 5)",
     )
     parser.add_argument(
         "--workers",
@@ -575,6 +764,8 @@ def main(argv: list[str] | None = None) -> int:
         "qa": _cmd_qa,
         "profile": _cmd_profile,
         "regress": _cmd_regress,
+        "watch": _cmd_watch,
+        "report": _cmd_report,
         "all": _cmd_all,
     }[args.command](args)
     return 0

@@ -20,6 +20,7 @@ from ..apsp.composition import assemble_full_matrix, build_component_tables
 from ..apsp.ear_apsp import extend_reduced_distances
 from ..decomposition.reduce import reduce_graph
 from ..graph.csr import CSRGraph
+from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..obs.memory import memory_span as _memory_span, publish_apsp_table_gauges
 from ..obs.trace import span as _span
@@ -61,8 +62,11 @@ def apsp_with_trace(
     # post-process split directly.  Memory spans mirror them: with
     # obs.memory profiling active, each phase also records its tracemalloc
     # delta/peak and the process RSS high-water (docs/OBSERVABILITY.md).
+    # Phase events (repro.obs.events) bracket the same transitions, so a
+    # live `repro-bench watch` shows which phase a run is in.
     with _span("preprocess", cat="apsp", stage="decompose", n=g.n, m=g.m), \
-            _memory_span("apsp.preprocess"):
+            _memory_span("apsp.preprocess"), \
+            _events.emitting("phase", phase="preprocess", cat="apsp", stage="decompose"):
         bcc = biconnected_components(g)
     trace.new_stage("decompose").add(g.m * BYTES_REDUCE_PER_EDGE, g.m)
 
@@ -75,17 +79,20 @@ def apsp_with_trace(
         nonlocal reduced_bytes
         if use_ear:
             with _span("preprocess", cat="apsp", stage="reduce", n=sub.n), \
-                    _memory_span("apsp.preprocess"):
+                    _memory_span("apsp.preprocess"), \
+                    _events.emitting("phase", phase="preprocess", cat="apsp", stage="reduce"):
                 red = reduce_graph(sub)
             trace.new_stage("reduce").add(sub.m * BYTES_REDUCE_PER_EDGE, sub.m)
             simple = red.simple_graph()
             _record_dijkstra(trace, simple.n, simple.m, chunk)
             with _span("process", cat="apsp", stage="dijkstra", n=simple.n), \
-                    _memory_span("apsp.process"):
+                    _memory_span("apsp.process"), \
+                    _events.emitting("phase", phase="process", cat="apsp", stage="dijkstra"):
                 s_r = multi_source(simple, np.arange(simple.n), chunk_size=chunk)
             reduced_bytes += int(s_r.nbytes) + 3 * red.n_removed * 8
             with _span("postprocess", cat="apsp", stage="extend", n=sub.n), \
-                    _memory_span("apsp.postprocess"):
+                    _memory_span("apsp.postprocess"), \
+                    _events.emitting("phase", phase="postprocess", cat="apsp", stage="extend"):
                 full = extend_reduced_distances(red, s_r)
             trace.new_stage("postprocess", divisible=True).add(
                 sub.n * sub.n * BYTES_POSTPROCESS_PER_ENTRY, sub.n * sub.n
@@ -93,7 +100,8 @@ def apsp_with_trace(
             return full
         _record_dijkstra(trace, sub.n, sub.m, chunk)
         with _span("process", cat="apsp", stage="dijkstra", n=sub.n), \
-                _memory_span("apsp.process"):
+                _memory_span("apsp.process"), \
+                _events.emitting("phase", phase="process", cat="apsp", stage="dijkstra"):
             out = multi_source(sub, np.arange(sub.n), chunk_size=chunk)
         reduced_bytes += int(out.nbytes)
         return out
@@ -104,7 +112,8 @@ def apsp_with_trace(
         reduced_bytes + int(ct.ap_matrix.nbytes)
     )
     with _span("postprocess", cat="apsp", stage="assemble", n=g.n), \
-            _memory_span("apsp.postprocess"):
+            _memory_span("apsp.postprocess"), \
+            _events.emitting("phase", phase="postprocess", cat="apsp", stage="assemble"):
         mat = assemble_full_matrix(g, ct)
     a = len(ct.ap_ids)
     if a:

@@ -98,7 +98,7 @@ class HeterogeneousExecutor:
         count = {d.name: 0 for d in devices}
         while not queue.empty:
             dev = min(devices, key=lambda d: d.clock.now)
-            batch = queue.grab(dev.batch_size, dev.takes_from_back)
+            batch = queue.grab(dev.batch_size, dev.takes_from_back, device=dev.name)
             if not batch:
                 break
             t0 = dev.clock.now

@@ -25,6 +25,7 @@ from ..graph.csr import CSRGraph
 from ..mcb import gf2
 from ..mcb.cycle import Cycle
 from ..mcb.mehlhorn_michail import MMContext
+from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..obs.memory import memory_span as _memory_span
 from ..obs.trace import span as _span
@@ -68,7 +69,8 @@ def mcb_with_trace(
     _G_WITNESS_BYTES.set(0.0)
     _G_STORE_BYTES.set(0.0)
     with _span("preprocess", cat="mcb", stage="decompose", n=g.n, m=g.m), \
-            _memory_span("mcb.preprocess"):
+            _memory_span("mcb.preprocess"), \
+            _events.emitting("phase", phase="preprocess", cat="mcb", stage="decompose"):
         bcc = biconnected_components(g)
     trace.new_stage("decompose").add(g.m * BYTES_REDUCE_PER_EDGE, g.m)
 
@@ -84,7 +86,8 @@ def mcb_with_trace(
             continue
         if use_ear:
             with _span("preprocess", cat="mcb", stage="reduce", n=sub.n), \
-                    _memory_span("mcb.preprocess"):
+                    _memory_span("mcb.preprocess"), \
+                    _events.emitting("phase", phase="preprocess", cat="mcb", stage="reduce"):
                 red = reduce_graph(sub)
             solve_on = red.graph
             trace.new_stage("reduce").add(sub.m * BYTES_REDUCE_PER_EDGE, sub.m)
@@ -92,10 +95,12 @@ def mcb_with_trace(
             red = None
             solve_on = sub
         with _span("process", cat="mcb", stage="mehlhorn_michail", n=solve_on.n), \
-                _memory_span("mcb.process"):
+                _memory_span("mcb.process"), \
+                _events.emitting("phase", phase="process", cat="mcb", stage="mehlhorn_michail"):
             cycles = _mm_traced(solve_on, trace, lca_filter, block_size)
         with _span("postprocess", cat="mcb", stage="expand", cycles=len(cycles)), \
-                _memory_span("mcb.postprocess"):
+                _memory_span("mcb.postprocess"), \
+                _events.emitting("phase", phase="postprocess", cat="mcb", stage="expand"):
             for cyc in cycles:
                 sub_eids = (
                     red.expand_cycle(cyc.edge_ids) if red is not None else cyc.edge_ids

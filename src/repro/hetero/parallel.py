@@ -41,8 +41,10 @@ import scipy.sparse as sp
 import scipy.sparse.csgraph as csgraph
 
 from ..graph.csr import CSRGraph
+from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..obs import watch as _watch
 from ..sssp import engine as _engine
 
 _C_SHM_BYTES = _metrics.counter("parallel.shm_bytes")
@@ -240,6 +242,14 @@ def _worker_dijkstra(task: tuple[np.ndarray, bool, bool]):
 
 
 def _worker_chunk(sources: np.ndarray, want_pred: bool):
+    # The heartbeat precedes the fault seam on purpose: a worker hung by
+    # the ``worker.hang`` fault leaves a ``chunk_start`` beat whose age
+    # keeps growing, which is exactly what the stall watchdog keys on.
+    ev = _events.enabled()
+    if ev:
+        _events.emit(
+            "worker.heartbeat", status="chunk_start", sources=int(len(sources))
+        )
     _inject(
         "worker.chunk",
         first_source=int(sources[0]) if len(sources) else None,
@@ -247,6 +257,10 @@ def _worker_chunk(sources: np.ndarray, want_pred: bool):
     out = csgraph.dijkstra(
         _worker_mat, directed=False, indices=sources, return_predecessors=want_pred
     )
+    if ev:
+        _events.emit(
+            "worker.heartbeat", status="chunk_done", sources=int(len(sources))
+        )
     if want_pred:
         dist, pred = out
         return np.asarray(dist, dtype=np.float64), np.asarray(pred, dtype=np.int64)
@@ -339,15 +353,39 @@ class ParallelEngine:
         col = _trace.current_collector()
         tasks = [(c, want_pred, col is not None) for c in chunks]
         _C_CHUNKS.inc(len(tasks))
+        # With events enabled, a watchdog thread consumes the workers'
+        # heartbeat shards for the duration of the fan-out: a hung worker
+        # is flagged (watch.stalls, engine.stall_detected) while the
+        # dispatch is still waiting, before any timeout degradation.
+        sink = _events.current_sink()
+        watchdog = None
+        if sink is not None:
+            _events.emit("dispatch.start", chunks=len(tasks), workers=self.workers)
+            watchdog = _watch.Watchdog(
+                _watch.heartbeats_from_events(sink.dir),
+                stall_after=_watch.resolve_stall_after(None, self.timeout),
+            ).start()
         t0 = time.perf_counter_ns()
-        with _trace.span(
-            "parallel.dispatch", cat="parallel",
-            chunks=len(tasks), workers=self.workers,
-        ):
-            if self.timeout is None:
-                raw = self._pool.map(_worker_dijkstra, tasks)
-            else:
-                raw = self._pool.map_async(_worker_dijkstra, tasks).get(self.timeout)
+        try:
+            with _trace.span(
+                "parallel.dispatch", cat="parallel",
+                chunks=len(tasks), workers=self.workers,
+            ):
+                if self.timeout is None:
+                    raw = self._pool.map(_worker_dijkstra, tasks)
+                else:
+                    raw = self._pool.map_async(_worker_dijkstra, tasks).get(
+                        self.timeout
+                    )
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+                _events.emit(
+                    "dispatch.finish",
+                    chunks=len(tasks),
+                    workers=self.workers,
+                    stalls=len(watchdog.stalled),
+                )
         if col is None:
             return raw
         wall = max(1, time.perf_counter_ns() - t0)
@@ -373,6 +411,8 @@ class ParallelEngine:
             stacklevel=3,
         )
         _C_DEGRADED.inc()
+        if _events.enabled():
+            _events.emit("engine.degraded", error=type(exc).__name__)
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()

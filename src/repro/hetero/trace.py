@@ -82,9 +82,20 @@ class SimulationResult:
         return other.total_time / self.total_time if self.total_time else float("inf")
 
 
-def simulate_trace(trace: WorkTrace, platform: Platform) -> SimulationResult:
-    """Replay ``trace`` through ``platform``; returns its virtual makespan."""
+def simulate_trace(
+    trace: WorkTrace, platform: Platform, record_samples: bool = False
+) -> SimulationResult:
+    """Replay ``trace`` through ``platform``; returns its virtual makespan.
+
+    ``record_samples=True`` switches every device clock to per-interval
+    accounting, so after the replay ``{d.name: d.clock for d in
+    platform.devices}`` can be handed to
+    :func:`repro.obs.export.write_chrome_trace` as virtual device tracks.
+    """
     platform.reset()
+    if record_samples:
+        for d in platform.devices:
+            d.clock.record_samples = True
     ex = HeterogeneousExecutor(platform)
     stage_times: dict[str, float] = {}
     uid = 0

@@ -16,7 +16,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..obs import events as _events
+from ..obs import metrics as _metrics
+
 __all__ = ["WorkUnit", "DequeWorkQueue"]
+
+_C_GRABS_FRONT = _metrics.counter("queue.grabs.front")
+_C_GRABS_BACK = _metrics.counter("queue.grabs.back")
+_H_BATCH = _metrics.histogram("queue.grab.batch")
 
 
 @dataclass
@@ -56,8 +63,15 @@ class DequeWorkQueue:
     def empty(self) -> bool:
         return not self._q
 
-    def grab(self, batch_size: int, from_back: bool) -> list[WorkUnit]:
-        """Atomically take up to ``batch_size`` units from one end."""
+    def grab(
+        self, batch_size: int, from_back: bool, device: str = ""
+    ) -> list[WorkUnit]:
+        """Atomically take up to ``batch_size`` units from one end.
+
+        ``device`` is the grabbing device's name, threaded through purely
+        for telemetry: per-device grab/unit counters and — when events
+        are enabled — one ``queue.grab`` event per non-empty grab.
+        """
         out: list[WorkUnit] = []
         for _ in range(max(1, batch_size)):
             if not self._q:
@@ -66,6 +80,19 @@ class DequeWorkQueue:
         if out:
             if from_back:
                 self.grabs_back += 1
+                _C_GRABS_BACK.inc()
             else:
                 self.grabs_front += 1
+                _C_GRABS_FRONT.inc()
+            _H_BATCH.observe(len(out))
+            if device:
+                _metrics.counter(f"queue.device.{device}.units").inc(len(out))
+            if _events.enabled():
+                _events.emit(
+                    "queue.grab",
+                    end="back" if from_back else "front",
+                    batch=len(out),
+                    device=device,
+                    remaining=len(self._q),
+                )
         return out

@@ -42,7 +42,25 @@ open the traces in Perfetto.
 
 from __future__ import annotations
 
-from .export import chrome_trace, summary, validate_chrome_trace, write_chrome_trace
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    EventSink,
+    current_sink,
+    default_events_dir,
+    emit,
+    emitting,
+    events_to,
+)
+from .events import enabled as events_enabled
+from .export import (
+    VIRTUAL_PID,
+    chrome_trace,
+    summary,
+    validate_chrome_trace,
+    virtual_clock_events,
+    write_chrome_trace,
+)
 from .ledger import (
     SCHEMA_VERSION,
     Ledger,
@@ -88,6 +106,7 @@ from .regress import (
     measure_profile_phases,
     phase_totals,
 )
+from .report import REPORT_SECTIONS, build_report, validate_report, write_report
 from .trace import (
     Span,
     TraceCollector,
@@ -96,6 +115,7 @@ from .trace import (
     tracing,
     tracing_enabled,
 )
+from .watch import Watchdog, heartbeats_from_events, render_status, resolve_stall_after
 
 __all__ = [
     # trace
@@ -117,10 +137,32 @@ __all__ = [
     "registry",
     "reset_metrics",
     "snapshot",
+    # events
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "EventSink",
+    "current_sink",
+    "default_events_dir",
+    "emit",
+    "emitting",
+    "events_enabled",
+    "events_to",
+    # watch
+    "Watchdog",
+    "heartbeats_from_events",
+    "render_status",
+    "resolve_stall_after",
+    # report
+    "REPORT_SECTIONS",
+    "build_report",
+    "validate_report",
+    "write_report",
     # export
+    "VIRTUAL_PID",
     "chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "virtual_clock_events",
     "summary",
     # memory
     "MemSpan",

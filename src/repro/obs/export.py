@@ -21,13 +21,71 @@ import os
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hetero.timing import VirtualClock
     from .trace import TraceCollector
 
-__all__ = ["chrome_trace", "write_chrome_trace", "validate_chrome_trace", "summary"]
+__all__ = [
+    "VIRTUAL_PID",
+    "chrome_trace",
+    "virtual_clock_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "summary",
+]
+
+#: Synthetic pid under which simulated-platform device clocks render as
+#: tracks.  Far above any real pid (kernel pid_max is < 2^22), so virtual
+#: tracks can never collide with the stitched worker-pid tracks.
+VIRTUAL_PID = 9_999_999
 
 
-def chrome_trace(collector: "TraceCollector") -> dict:
-    """The collector's spans as a Chrome ``trace_event`` JSON object."""
+def virtual_clock_events(
+    clocks: "dict[str, VirtualClock | list]", pid: int = VIRTUAL_PID
+) -> list[dict]:
+    """Per-device Chrome tracks from simulated-platform virtual clocks.
+
+    ``clocks`` maps device name to a :class:`~repro.hetero.timing.
+    VirtualClock` (recorded with ``record_samples=True``) or directly to a
+    list of :class:`~repro.hetero.timing.ClockSample`.  Each device
+    becomes a thread track under one synthetic "virtual platform"
+    process, every accounted interval a complete event — so a
+    trace-replay's queue dynamics (Figures 5/6) render next to the real
+    pid tracks of the same Chrome trace.  Virtual seconds map to trace
+    microseconds 1:1 starting at zero.
+    """
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": "virtual platform"}}
+    ]
+    for tid, (name, clk) in enumerate(sorted(clocks.items())):
+        samples = getattr(clk, "samples", clk)
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": f"virtual {name}"}}
+        )
+        for s in samples:
+            events.append(
+                {
+                    "name": s.label or name,
+                    "cat": "virtual",
+                    "ph": "X",
+                    "ts": s.start * 1e6,
+                    "dur": s.duration * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"device": name},
+                }
+            )
+    return events
+
+
+def chrome_trace(collector: "TraceCollector", clocks: dict | None = None) -> dict:
+    """The collector's spans as a Chrome ``trace_event`` JSON object.
+
+    ``clocks`` optionally merges simulated-platform device tracks (see
+    :func:`virtual_clock_events`) into the same document, so one trace
+    carries both the real run and its virtual-platform replay.
+    """
     origin = collector.t_origin_ns
     events: list[dict] = []
     tracks: set[tuple[int, int]] = set()
@@ -60,13 +118,16 @@ def chrome_trace(collector: "TraceCollector") -> dict:
             {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
              "args": {"name": f"tid {tid}"}}
         )
-    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+    virtual = virtual_clock_events(clocks) if clocks else []
+    return {"traceEvents": meta + events + virtual, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(collector: "TraceCollector", path: str) -> str:
+def write_chrome_trace(
+    collector: "TraceCollector", path: str, clocks: dict | None = None
+) -> str:
     """Serialize :func:`chrome_trace` to ``path``; returns the path."""
     with open(path, "w") as fh:
-        json.dump(chrome_trace(collector), fh, indent=1)
+        json.dump(chrome_trace(collector, clocks=clocks), fh, indent=1)
         fh.write("\n")
     return path
 

@@ -187,10 +187,21 @@ class Ledger:
         self.skipped = 0
 
     def append(self, record: RunRecord) -> RunRecord:
-        """Append one record (creating the file and parent dirs on demand)."""
+        """Append one record (creating the file and parent dirs on demand).
+
+        The full line goes through a single ``O_APPEND`` ``os.write``:
+        POSIX guarantees the seek+write is atomic with respect to other
+        appenders, so concurrent writers (a process-parallel QA sweep,
+        racing CI shards) can share one ledger file without interleaving
+        partial lines — the same discipline as the event-stream shards.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as fh:
-            fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
         return record
 
     def records(self, kind: str | None = None) -> list[RunRecord]:

@@ -217,10 +217,10 @@ class TraceCollector:
 
         return chrome_trace(self)
 
-    def write_chrome(self, path: str) -> str:
+    def write_chrome(self, path: str, clocks: dict | None = None) -> str:
         from .export import write_chrome_trace
 
-        return write_chrome_trace(self, path)
+        return write_chrome_trace(self, path, clocks=clocks)
 
 
 def _contains(outer: Span, inner: Span) -> bool:

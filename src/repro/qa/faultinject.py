@@ -79,14 +79,34 @@ def fire(seam: str, first_source: int | None = None) -> None:
         return
     for site, arg in parse_spec(spec):
         if seam == "worker.chunk" and site == "worker.hang":
+            _emit_fired(seam, site, arg, first_source)
             time.sleep(float(arg) if arg else 60.0)
         elif seam == "worker.chunk" and site == "worker.crash":
             if arg is None or first_source is None or first_source >= int(arg):
+                _emit_fired(seam, site, arg, first_source)
                 raise InjectedWorkerCrash(
                     f"injected crash on chunk starting at source {first_source}"
                 )
         elif seam == "shm.create" and site == "shm.oom":
+            _emit_fired(seam, site, arg, first_source)
             raise OSError(28, "injected shared-memory allocation failure")
+
+
+def _emit_fired(
+    seam: str, site: str, arg: str | None, first_source: int | None
+) -> None:
+    """Publish a ``fault.fired`` event *before* the fault acts.
+
+    Emitted first on purpose: a hang or crash must not be able to
+    suppress its own evidence, so the stream always shows which injected
+    fault a degradation or stall traces back to.
+    """
+    from ..obs import events as _events
+
+    if _events.enabled():
+        _events.emit(
+            "fault.fired", seam=seam, site=site, arg=arg, first_source=first_source
+        )
 
 
 @contextmanager

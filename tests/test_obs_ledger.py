@@ -169,6 +169,44 @@ class TestLedger:
         assert list(doc) == sorted(doc)
 
 
+def _append_burst(path: str, worker: int, count: int) -> None:
+    """Child-process body for the concurrent-append test (module level so
+    it pickles under the spawn start method)."""
+    from repro.obs.ledger import Ledger, RunRecord
+
+    led = Ledger(path)
+    for i in range(count):
+        led.append(
+            RunRecord.new(kind="stress", phases={f"w{worker}.p{i}": float(i)})
+        )
+
+
+class TestConcurrentAppend:
+    def test_multiprocess_appends_never_tear_lines(self, tmp_path):
+        """4 processes × 25 appends race one ledger file; every record
+        must read back whole — the O_APPEND single-write contract."""
+        import multiprocessing as mp
+
+        path = tmp_path / "runs.jsonl"
+        procs = [
+            mp.Process(target=_append_burst, args=(str(path), w, 25))
+            for w in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        led = Ledger(path)
+        recs = led.records(kind="stress")
+        assert len(recs) == 100
+        assert led.skipped == 0
+        # Every (worker, i) pair arrived exactly once — nothing was
+        # interleaved into another record's line.
+        seen = {name for r in recs for name in r.phases}
+        assert len(seen) == 100
+
+
 class TestBenchSmokeStamping:
     def test_script_stamps_baseline_and_appends_ledger(self, tmp_path):
         """Satellite: bench_smoke output carries git SHA + schema version."""

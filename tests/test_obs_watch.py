@@ -1,0 +1,233 @@
+"""repro.obs.watch: stall detection semantics, status rendering, CLI view.
+
+The integration test arms the ``worker.hang`` fault with a deterministic
+spec and asserts the watchdog flags the stall (``watch.stalls``,
+``engine.stall_detected``) *before* the dispatch timeout degrades the
+engine — the liveness gap the watchdog exists to close.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.graph import grid_graph
+from repro.obs import metrics as _metrics
+from repro.obs.events import EventLog, EventSink, events_to
+from repro.obs.watch import (
+    DEFAULT_STALL_AFTER,
+    Watchdog,
+    heartbeats_from_events,
+    render_status,
+    resolve_stall_after,
+)
+
+
+class TestResolveStallAfter:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WATCH_STALL", raising=False)
+        assert resolve_stall_after() == DEFAULT_STALL_AFTER
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WATCH_STALL", "9.0")
+        assert resolve_stall_after(1.5) == 1.5
+
+    def test_env_beats_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WATCH_STALL", "0.25")
+        assert resolve_stall_after(None, timeout=10.0) == 0.25
+
+    def test_timeout_derived_half(self, monkeypatch):
+        # Detection must precede the timeout's pool teardown.
+        monkeypatch.delenv("REPRO_WATCH_STALL", raising=False)
+        assert resolve_stall_after(None, timeout=3.0) == 1.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_stall_after(0.0)
+
+
+class TestWatchdogCheck:
+    def test_fresh_beats_never_stall(self):
+        now = time.perf_counter_ns()
+        beats = {7: now}
+        wd = Watchdog(lambda: beats, stall_after=1.0, since_ns=0)
+        assert wd.check(now_ns=now + int(0.5e9)) == []
+        assert wd.stalled == {}
+
+    def test_stale_beat_stalls_once_per_episode(self):
+        stalls = _metrics.counter("watch.stalls")
+        before = stalls.value
+        now = time.perf_counter_ns()
+        beats = {7: now}
+        wd = Watchdog(lambda: beats, stall_after=1.0, since_ns=0)
+        late = now + int(2e9)
+        assert wd.check(now_ns=late) == [7]
+        assert wd.check(now_ns=late + 1) == []  # same episode: counted once
+        assert stalls.value == before + 1
+        # A fresh beat clears the episode; going stale again re-counts.
+        beats[7] = late
+        assert wd.check(now_ns=late + int(0.1e9)) == []
+        assert 7 not in wd.stalled
+        assert wd.check(now_ns=late + int(3e9)) == [7]
+        assert stalls.value == before + 2
+
+    def test_ignores_beats_before_arming(self):
+        # A shared event dir carries beats from earlier dispatches; they
+        # must not produce phantom stalls for this watchdog.
+        old_beat = 100
+        wd = Watchdog(lambda: {7: old_beat}, stall_after=0.001, since_ns=10_000)
+        assert wd.check(now_ns=20_000_000_000) == []
+
+    def test_stall_emits_event(self, tmp_path):
+        now = time.perf_counter_ns()
+        with events_to(tmp_path):
+            wd = Watchdog(lambda: {7: now}, stall_after=1.0, since_ns=0)
+            wd.check(now_ns=now + int(5e9))
+        evs = EventLog(tmp_path).read(kinds={"engine.stall_detected"})
+        assert len(evs) == 1
+        assert evs[0]["worker"] == 7
+        assert evs[0]["heartbeat_age_s"] > 1.0
+
+    def test_thread_lifecycle(self):
+        wd = Watchdog(lambda: {}, stall_after=1.0, poll_interval=0.01)
+        with wd:
+            time.sleep(0.05)
+        assert wd.checks >= 1
+        assert wd._thread is None
+
+
+class TestHeartbeatsFromEvents:
+    def test_latest_beat_per_pid(self, tmp_path):
+        sink = EventSink(tmp_path)
+        sink.emit("worker.heartbeat", status="chunk_start")
+        sink.emit("worker.heartbeat", status="chunk_done")
+        sink.emit("queue.grab", batch=1)  # other kinds ignored
+        sink.close()
+        read = heartbeats_from_events(tmp_path)
+        beats = read()
+        assert set(beats) == {os.getpid()}
+        evs = EventLog(tmp_path).read(kinds={"worker.heartbeat"})
+        assert beats[os.getpid()] == evs[-1]["ts_ns"]
+
+    def test_empty_dir(self, tmp_path):
+        assert heartbeats_from_events(tmp_path / "nope")() == {}
+
+
+class TestRenderStatus:
+    def _events(self, tmp_path):
+        with events_to(tmp_path):
+            from repro.obs.events import emit, emitting
+
+            with emitting("phase", phase="process", cat="apsp", stage="dijkstra"):
+                emit("chunk.start", sources=8)
+                emit("queue.grab", end="back", batch=3, device="gpu", remaining=5)
+                emit("queue.grab", end="front", batch=1, device="cpu", remaining=4)
+                emit("worker.heartbeat", status="chunk_done", sources=8)
+                emit("chunk.finish", sources=8)
+        return EventLog(tmp_path).read()
+
+    def test_frame_contents(self, tmp_path):
+        frame = render_status(self._events(tmp_path))
+        assert "work queue: 2 grabs, 4 units" in frame
+        assert "gpu" in frame and "cpu" in frame
+        assert "back 1" in frame and "front 1" in frame
+        assert "sssp chunks: 1/1 finished" in frame
+        assert "heartbeating" in frame
+        assert "open phase: none" in frame
+
+    def test_open_phase_and_stall_flag(self, tmp_path):
+        with events_to(tmp_path):
+            from repro.obs.events import emit
+
+            emit("phase.start", phase="process", cat="mcb")
+            emit("worker.heartbeat", status="chunk_start")
+        evs = EventLog(tmp_path).read()
+        # Render "now" far past the last beat: the worker must flag.
+        late = evs[-1]["ts_ns"] + int(60e9)
+        frame = render_status(evs, now_ns=late, stall_after=5.0)
+        assert "open phase: mcb/process" in frame
+        assert "STALLED" in frame
+
+    def test_finished_dispatch_workers_render_done_not_stalled(self, tmp_path):
+        # After dispatch.finish the workers' beats age forever; a recorded
+        # stream (or a live view of a finished run) must say done, not STALLED.
+        with events_to(tmp_path):
+            from repro.obs.events import emit
+
+            emit("worker.heartbeat", status="chunk_done")
+            emit("dispatch.finish", chunks=1, workers=1, stalls=0)
+        evs = EventLog(tmp_path).read()
+        late = evs[-1]["ts_ns"] + int(600e9)
+        frame = render_status(evs, now_ns=late, stall_after=5.0)
+        assert "done" in frame
+        assert "STALLED" not in frame
+
+    def test_empty_stream(self):
+        assert "empty" in render_status([])
+
+
+class TestHangDetectionIntegration:
+    def test_watchdog_flags_hang_before_timeout(self, tmp_path, monkeypatch):
+        """An injected worker hang is detected mid-dispatch, before the
+        timeout fires the serial degradation, and the degraded result is
+        still bit-identical to the serial engine."""
+        from repro.hetero.parallel import ParallelEngine
+        from repro.qa.faultinject import inject_worker_hang
+        from repro.sssp import engine as serial_engine
+
+        # Deterministic seeds: hang 30s (forever at test scale), flag
+        # stalls at 0.3s, time the dispatch out at 1.5s.
+        monkeypatch.setenv("REPRO_WATCH_STALL", "0.3")
+        stalls = _metrics.counter("watch.stalls")
+        before = stalls.value
+        g = grid_graph(6, 7)
+        sources = np.arange(16, dtype=np.int64)
+        with events_to(tmp_path), warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with inject_worker_hang(30.0):
+                with ParallelEngine(g, workers=2, chunk_size=8, timeout=1.5) as eng:
+                    if not eng.is_parallel:
+                        pytest.skip("no process pool in this sandbox")
+                    dist = eng.multi_source(sources)
+        np.testing.assert_array_equal(
+            dist, serial_engine.multi_source(g, sources)
+        )
+        assert stalls.value > before
+        evs = EventLog(tmp_path).read()
+        stall_evs = [e for e in evs if e["kind"] == "engine.stall_detected"]
+        degraded = [e for e in evs if e["kind"] == "engine.degraded"]
+        fired = [e for e in evs if e["kind"] == "fault.fired"]
+        assert stall_evs and degraded and fired
+        assert fired[0]["site"] == "worker.hang"
+        # The whole point: detection strictly precedes degradation.
+        assert stall_evs[0]["ts_ns"] < degraded[0]["ts_ns"]
+
+
+class TestWatchCLI:
+    def test_watch_once_renders_recorded_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with events_to(tmp_path / "ev"):
+            from repro.obs.events import emit
+
+            emit("queue.grab", end="back", batch=2, device="gpu", remaining=0)
+            emit("worker.heartbeat", status="chunk_done")
+        rc = main(["watch", "--once", "--events", str(tmp_path / "ev")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "single frame" in out
+        assert "gpu" in out
+        # Recorded stream: ages render relative to the stream's end, so
+        # a long-finished run must not show every worker as stalled.
+        assert "STALLED" not in out
+
+    def test_watch_without_events_dir_exits_nonzero(self, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_EVENTS", raising=False)
+        with pytest.raises(SystemExit):
+            main(["watch", "--once"])
