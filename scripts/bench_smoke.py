@@ -11,6 +11,8 @@ root, giving every change to the bulk-SSSP engine a before/after anchor:
 * ``parallel`` — process-pool APSP vs the serial engine on the same graph,
   with the host core count recorded (on a single-core host the pool cannot
   win; the number is recorded honestly, not asserted).
+* ``bulk_query`` — vectorized oracle ``query_many`` vs the scalar per-pair
+  loop on a chain-heavy theta graph, checked bit-identical first.
 * ``fig2`` / ``table2`` — tiny-scale rows of the two headline paper
   benchmarks, correctness-checked by the harness itself.
 
@@ -92,6 +94,40 @@ def bench_parallel(scale: float) -> dict:
     }
 
 
+def bench_bulk_query(scale: float) -> dict:
+    """Vectorized ``query_many`` vs the scalar loop on a chain-heavy graph.
+
+    The theta-graph family is the oracle's worst case for per-pair Python
+    dispatch (every pair touches the chain formulas), so it is where the
+    vectorized classification pays off most honestly.  Results are checked
+    bit-identical before either timing is recorded.
+    """
+    from repro.apsp.reduced_oracle import ReducedDistanceOracle
+    from repro.bench.metrics import speedup
+    from repro.qa.strategies import theta_graph
+
+    n_chains, chain_len = 6, max(8, int(2000 * scale))
+    g = theta_graph(n_chains=n_chains, chain_len=chain_len, seed=7)
+    oracle = ReducedDistanceOracle(g)
+    rng = np.random.default_rng(7)
+    pairs = rng.integers(0, g.n, size=(20_000, 2), dtype=np.int64)
+    parity = bool(
+        np.array_equal(oracle.query_many(pairs), oracle.query_many_scalar(pairs))
+    )
+    t_scalar = _time(lambda: oracle.query_many_scalar(pairs), repeat=1)
+    t_vector = _time(lambda: oracle.query_many(pairs))
+    return {
+        "graph": {"name": f"theta-{n_chains}x{chain_len}", "n": g.n, "m": g.m},
+        "pairs": int(pairs.shape[0]),
+        "scalar_s": t_scalar,
+        "vectorized_s": t_vector,
+        "scalar_pairs_per_s": pairs.shape[0] / t_scalar,
+        "vectorized_pairs_per_s": pairs.shape[0] / t_vector,
+        "speedup": speedup(t_scalar, t_vector),
+        "bit_identical": parity,
+    }
+
+
 def bench_fig2(scale: float) -> list[dict]:
     from repro.bench import run_fig2
 
@@ -147,6 +183,8 @@ def _phases(baseline: dict) -> dict:
         "smoke.repeated_sssp.cached": rs["cached_chunked_s"],
         "smoke.parallel.serial": pl["serial_s"],
         "smoke.parallel.parallel": pl["parallel_s"],
+        "smoke.bulk_query.scalar": baseline["bulk_query"]["scalar_s"],
+        "smoke.bulk_query.vectorized": baseline["bulk_query"]["vectorized_s"],
     }
     for row in baseline["fig2"]:
         phases[f"smoke.fig2.{row['name']}.ours"] = row["t_ours_s"]
@@ -195,6 +233,7 @@ def main() -> None:
         "chunk_size": os.environ.get("REPRO_SSSP_CHUNK", "32 (default)"),
         "repeated_sssp": bench_repeated_sssp(args.scale),
         "parallel": bench_parallel(args.scale),
+        "bulk_query": bench_bulk_query(args.scale),
         "fig2": bench_fig2(args.scale),
         "table2": bench_table2(args.scale),
     }
@@ -247,6 +286,12 @@ def main() -> None:
         f"parallel apsp: serial {pl['serial_s']:.3f}s vs 2-proc "
         f"{pl['parallel_s']:.3f}s ({pl['speedup']:.2f}x on "
         f"{pl['host_cores']} core(s))"
+    )
+    bq = baseline["bulk_query"]
+    print(
+        f"bulk query: scalar {bq['scalar_s']:.3f}s vs vectorized "
+        f"{bq['vectorized_s']:.4f}s ({bq['speedup']:.1f}x, "
+        f"bit_identical={bq['bit_identical']})"
     )
 
 

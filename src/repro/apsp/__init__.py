@@ -2,6 +2,7 @@
 
 from .bcc_apsp import bcc_apsp, peel_pendants
 from .bfs_apsp import bfs_apsp, bfs_distances, ear_bfs_apsp
+from .bulk_query import BulkOracleIndex
 from .composition import ComponentTables, assemble_full_matrix, build_component_tables
 from .dense import blocked_floyd_warshall, floyd_warshall
 from .dijkstra_apsp import dijkstra_apsp
@@ -22,6 +23,7 @@ __all__ = [
     "bfs_distances",
     "ear_bfs_apsp",
     "peel_pendants",
+    "BulkOracleIndex",
     "ComponentTables",
     "assemble_full_matrix",
     "build_component_tables",

@@ -71,16 +71,9 @@ def extend_reduced_distances(red: ReducedGraph, s_r: np.ndarray) -> np.ndarray:
         out[np.ix_(kept, kept)] = s_r
     removed = np.nonzero(~red.kept_mask)[0]
     if removed.size:
-        rid = red.reduced_id
-        chain_left = np.fromiter(
-            (rid[c.left] for c in red.chains), dtype=np.int64, count=len(red.chains)
-        )
-        chain_right = np.fromiter(
-            (rid[c.right] for c in red.chains), dtype=np.int64, count=len(red.chains)
-        )
         ch = red.chain_of[removed]
-        left = chain_left[ch]
-        right = chain_right[ch]
+        left = red.chain_left_rid[ch]
+        right = red.chain_right_rid[ch]
         dl = red.dist_left[removed]
         dr = red.dist_right[removed]
 
@@ -95,19 +88,13 @@ def extend_reduced_distances(red: ReducedGraph, s_r: np.ndarray) -> np.ndarray:
         np.minimum(d_rr, dr[:, None] + s_r[np.ix_(right, left)] + dl[None, :], out=d_rr)
         np.minimum(d_rr, dr[:, None] + s_r[np.ix_(right, right)] + dr[None, :], out=d_rr)
 
-        # Same-chain pairs may be closer along the chain itself.
-        pos = np.full(n, -1, dtype=np.int64)
-        pos[removed] = np.arange(removed.size)
-        for chain in red.chains:
-            interior = chain.interior
-            if interior.size == 0:
-                continue
-            rows = pos[interior]
-            pf = chain.prefix[1:-1]
-            direct = np.abs(pf[:, None] - pf[None, :])
-            block = d_rr[np.ix_(rows, rows)]
-            np.minimum(block, direct, out=block)
-            d_rr[np.ix_(rows, rows)] = block
+        # Same-chain pairs may be closer along the chain itself:
+        # ``dist_left`` is the per-vertex chain prefix, so the along-chain
+        # distance is ``|prefix(x) − prefix(y)|`` — one masked minimum over
+        # the whole removed × removed block instead of a per-chain loop.
+        same_chain = ch[:, None] == ch[None, :]
+        direct = np.abs(dl[:, None] - dl[None, :])
+        np.minimum(d_rr, direct, out=d_rr, where=same_chain)
         out[np.ix_(removed, removed)] = d_rr
     np.fill_diagonal(out, 0.0)
     return out

@@ -51,6 +51,7 @@ class DistanceOracle:
         self.tree = BlockCutTree(g, bcc)
         # Local index of each vertex inside each of its components.
         self._local = self.tables.vertex_local
+        self._bulk = None  # built lazily on the first query_many
 
     # ------------------------------------------------------------------ #
 
@@ -106,8 +107,36 @@ class DistanceOracle:
                     best = min(best, float(self.tables.tables[cid][li, la]))
         return best
 
+    def _bulk_index(self):
+        if self._bulk is None:
+            from .bulk_query import BulkOracleIndex
+
+            tables = self.tables.tables
+
+            def dist_many(cid: int, lu: np.ndarray, lv: np.ndarray) -> np.ndarray:
+                return np.asarray(tables[cid][lu, lv], dtype=np.float64)
+
+            self._bulk = BulkOracleIndex(
+                self.graph.n,
+                self.tree,
+                self.tables.bcc.component_vertices,
+                dist_many,
+                ap_matrix=np.asarray(self.tables.ap_matrix, dtype=np.float64),
+            )
+        return self._bulk
+
     def query_many(self, pairs: np.ndarray) -> np.ndarray:
-        """Vectorised entry point: ``pairs`` is ``(k, 2)`` → ``k`` distances."""
+        """Bulk ``(k, 2)`` pair queries as array passes.
+
+        One vectorized classification pass plus batched per-component
+        gathers (:mod:`repro.apsp.bulk_query`) — bit-identical to the
+        scalar :meth:`query` loop.
+        """
+        return self._bulk_index().query_many(pairs)
+
+    def query_many_scalar(self, pairs: np.ndarray) -> np.ndarray:
+        """The per-pair scalar reference loop (kept for differential tests
+        and the bulk-query smoke benchmark)."""
         pairs = np.asarray(pairs)
         return np.fromiter(
             (self.query(int(a), int(b)) for a, b in pairs),

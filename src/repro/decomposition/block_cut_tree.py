@@ -48,12 +48,18 @@ class BlockCutTree:
                     adj[cut].append(cid)
         self.adj = adj
 
-        # For every non-articulation vertex, its unique block.
+        # For every non-articulation vertex, its home block.  A vertex with
+        # self-loops additionally sits in one single-vertex block per loop;
+        # those never reach any other vertex, so the multi-vertex block (if
+        # any) must win — hence the two passes.
         self._vertex_block = np.full(g.n, -1, dtype=np.int64)
-        for cid in range(bcc.count):
-            for v in bcc.component_vertices[cid]:
-                if not bcc.is_articulation[v]:
-                    self._vertex_block[v] = cid
+        for multi in (False, True):
+            for cid in range(bcc.count):
+                if (len(bcc.component_vertices[cid]) > 1) != multi:
+                    continue
+                for v in bcc.component_vertices[cid]:
+                    if not bcc.is_articulation[v]:
+                        self._vertex_block[v] = cid
 
         # BFS forest + binary lifting tables.
         self.parent = np.full(n_nodes, -1, dtype=np.int64)
@@ -177,6 +183,113 @@ class BlockCutTree:
         a1 = int(self.ap_ids[c1 - self.n_blocks])
         a2 = int(self.ap_ids[c2 - self.n_blocks])
         return a1, a2
+
+    # ------------------------------------------------------------------ #
+    # Vectorised batch kernels (the bulk-query fast path)
+    # ------------------------------------------------------------------ #
+
+    def node_for_vertices(self) -> np.ndarray:
+        """``node_for_vertex`` for every graph vertex, ``-1`` for isolated."""
+        out = self._vertex_block.copy()
+        for v, k in self.ap_index.items():
+            out[v] = self.n_blocks + k
+        return out
+
+    def _lift(self, nodes: np.ndarray, steps: np.ndarray) -> np.ndarray:
+        """Lift each tree node up by its own number of ``steps`` (binary)."""
+        nodes = nodes.copy()
+        steps = steps.copy()
+        for k in range(self._up.shape[0]):
+            sel = (steps & 1).astype(bool)
+            if sel.any():
+                nodes[sel] = self._up[k, nodes[sel]]
+            steps >>= 1
+            if not steps.any():
+                break
+        return nodes
+
+    def lca_many(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`lca` over equal-length node arrays.
+
+        ``-1`` marks pairs in different trees of the forest.  One pass of
+        binary lifting runs over *all* pairs at once, so the per-pair cost
+        is a handful of gathers rather than a Python loop.
+        """
+        a = np.asarray(a, dtype=np.int64).copy()
+        b = np.asarray(b, dtype=np.int64).copy()
+        out = np.full(a.shape, -1, dtype=np.int64)
+        same_tree = self.tree_id[a] == self.tree_id[b]
+        if not same_tree.any():
+            return out
+        # Equalise depths (swap so a is the deeper side).
+        swap = self.depth[a] < self.depth[b]
+        a[swap], b[swap] = b[swap], a[swap]
+        diff = (self.depth[a] - self.depth[b]).astype(np.int64)
+        a = self._lift(a, np.where(same_tree, diff, 0))
+        done = same_tree & (a == b)
+        out[done] = a[done]
+        live = same_tree & ~done
+        if live.any():
+            la, lb = a[live], b[live]
+            for k in range(self._up.shape[0] - 1, -1, -1):
+                ua, ub = self._up[k, la], self._up[k, lb]
+                step = ua != ub
+                la = np.where(step, ua, la)
+                lb = np.where(step, ub, lb)
+            out[live] = self.parent[la]
+        return out
+
+    def _first_cut_towards_many(
+        self, start: np.ndarray, anc: np.ndarray, other: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`_first_cut_towards` over node arrays."""
+        out = start.copy()
+        is_block = start < self.n_blocks
+        up_parent = is_block & (start != anc)
+        out[up_parent] = self.parent[start[up_parent]]
+        descend = is_block & (start == anc)
+        if descend.any():
+            node = other[descend]
+            diff = (self.depth[node] - self.depth[start[descend]] - 1).astype(np.int64)
+            out[descend] = self._lift(node, diff)
+        return out
+
+    def boundary_aps_many(
+        self, u: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`boundary_aps` over vertex arrays.
+
+        Returns ``(a1, a2, same_block, disconnected)``: per-pair boundary
+        articulation points as *AP indices* (``-1`` where not applicable),
+        plus the two classification masks the scalar method signals via
+        ``None`` / :class:`ValueError`.  Callers are expected to have
+        resolved shared-component pairs already (matching the scalar
+        ``query`` flow, where ``boundary_aps`` only sees cross-block pairs).
+        """
+        node_of = self.node_for_vertices()
+        nu = node_of[np.asarray(u, dtype=np.int64)]
+        nv = node_of[np.asarray(v, dtype=np.int64)]
+        k = nu.shape[0]
+        a1 = np.full(k, -1, dtype=np.int64)
+        a2 = np.full(k, -1, dtype=np.int64)
+        same_block = nu == nv
+        disconnected = np.zeros(k, dtype=bool)
+        live = ~same_block
+        if live.any():
+            anc = np.full(k, -1, dtype=np.int64)
+            anc[live] = self.lca_many(nu[live], nv[live])
+            disconnected = live & (anc < 0)
+            # Adjacent cut/block nodes share a block: no bracketing AP.
+            adjacent = (self.parent[nu] == nv) | (self.parent[nv] == nu)
+            cut_side = (nu >= self.n_blocks) | (nv >= self.n_blocks)
+            same_block |= live & adjacent & cut_side
+            live &= ~disconnected & ~same_block
+        if live.any():
+            c1 = self._first_cut_towards_many(nu[live], anc[live], nv[live])
+            c2 = self._first_cut_towards_many(nv[live], anc[live], nu[live])
+            a1[live] = c1 - self.n_blocks
+            a2[live] = c2 - self.n_blocks
+        return a1, a2, same_block, disconnected
 
     def blocks_of_vertex(self, v: int) -> list[int]:
         """All block ids containing graph vertex ``v``."""

@@ -87,6 +87,12 @@ class ReducedGraph:
         Per *original* vertex: for removed vertices, the chain id, position
         of the vertex inside ``chains[c].vertices``, and distances to the
         chain's two anchors.  Entries for kept vertices are ``-1`` / 0.
+    chain_left_rid / chain_right_rid / chain_weight:
+        Per *chain* (same indexing as ``chains``): reduced ids of the two
+        anchors and the total chain weight, as flat arrays.  These are the
+        build-time prefix summaries the vectorized postprocess kernels
+        gather from (``dist_left[x]`` is the per-vertex chain prefix, so
+        ``|dist_left[x] − dist_left[y]|`` is the same-chain closed form).
     """
 
     original: CSRGraph
@@ -99,6 +105,9 @@ class ReducedGraph:
     pos_in_chain: np.ndarray
     dist_left: np.ndarray
     dist_right: np.ndarray
+    chain_left_rid: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    chain_right_rid: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    chain_weight: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
     _simple_cache: CSRGraph | None = field(default=None, repr=False)
 
     @property
@@ -273,6 +282,9 @@ def _reduce_graph(g: CSRGraph, keep: np.ndarray | None = None) -> ReducedGraph:
         pos_in_chain=pos_in_chain,
         dist_left=dist_left,
         dist_right=dist_right,
+        chain_left_rid=np.asarray(r_us, dtype=np.int64),
+        chain_right_rid=np.asarray(r_vs, dtype=np.int64),
+        chain_weight=np.asarray(r_ws, dtype=np.float64),
     )
     if os.environ.get("REPRO_CHECK_INVARIANTS"):
         # Opt-in contract check (see repro.qa.invariants); a forced keep

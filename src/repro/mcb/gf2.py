@@ -31,6 +31,18 @@ __all__ = [
 ]
 
 
+if hasattr(np, "bitwise_count"):
+    _popcount = np.bitwise_count
+else:  # numpy < 2.0: byte-table fallback (pyproject floor is numpy>=1.24)
+    _POP8 = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(
+        axis=1, dtype=np.uint8
+    )
+
+    def _popcount(a: np.ndarray) -> np.ndarray:
+        by = np.ascontiguousarray(a).view(np.uint8)
+        return _POP8[by].reshape(a.shape + (8,)).sum(axis=-1, dtype=np.uint64)
+
+
 def n_words(f: int) -> int:
     """Number of 64-bit words needed for ``f`` coordinates."""
     return max(1, (f + 63) // 64)
@@ -94,7 +106,7 @@ def set_bit(v: np.ndarray, i: int, value: int = 1) -> None:
 
 def dot(a: np.ndarray, b: np.ndarray) -> int:
     """GF(2) inner product ``⟨a, b⟩`` (parity of the AND popcount)."""
-    return int(np.bitwise_count(a & b).sum() & 1)
+    return int(_popcount(a & b).sum() & 1)
 
 
 def dot_many(mat: np.ndarray, v: np.ndarray) -> np.ndarray:
@@ -105,7 +117,7 @@ def dot_many(mat: np.ndarray, v: np.ndarray) -> np.ndarray:
     """
     if mat.size == 0:
         return np.zeros(mat.shape[0], dtype=np.uint8)
-    return (np.bitwise_count(mat & v[None, :]).sum(axis=1) & 1).astype(np.uint8)
+    return (_popcount(mat & v[None, :]).sum(axis=1) & 1).astype(np.uint8)
 
 
 def xor_inplace(target: np.ndarray, source: np.ndarray) -> None:
@@ -140,18 +152,40 @@ def pivot_update(mat: np.ndarray, v: np.ndarray, pivot: np.ndarray) -> np.ndarra
     return odd
 
 
-def rank(rows: np.ndarray) -> int:
-    """GF(2) rank of a packed ``(k, words)`` matrix by Gaussian elimination."""
+def rank(rows: np.ndarray, f: int | None = None) -> int:
+    """GF(2) rank of a packed ``(k, words)`` matrix by Gaussian elimination.
+
+    ``f`` bounds the scan to the first ``f`` coordinates (vectors packed
+    from dimension ``f`` carry zero padding up to the word boundary —
+    without the bound the padded columns are scanned for nothing).  Pivot
+    *selection* is vectorized: instead of probing columns one by one, the
+    OR of all remaining rows jumps straight to the next column holding a
+    pivot, so all-zero column runs cost one reduction rather than one
+    Python iteration each.
+    """
     if rows.size == 0:
         return 0
     work = rows.copy()
     r = 0
     k, words = work.shape
-    for col in range(words * 64):
+    limit = words * 64 if f is None else min(int(f), words * 64)
+    col = 0
+    while r < k and col < limit:
         word, bit = col >> 6, np.uint64(col & 63)
-        mask = (work[r:, word] >> bit) & np.uint64(1)
-        hits = np.nonzero(mask)[0]
+        hits = np.nonzero((work[r:, word] >> bit) & np.uint64(1))[0]
         if hits.size == 0:
+            # Vectorized pivot scan: OR the remaining rows, mask off the
+            # columns already processed, and jump to the lowest set bit.
+            orv = np.bitwise_or.reduce(work[r:], axis=0)
+            if col & 63:
+                orv[word] &= ~np.uint64(0) << np.uint64(col & 63)
+            orv[:word] = 0
+            nz = np.nonzero(orv)[0]
+            if nz.size == 0:
+                break
+            w = int(nz[0])
+            v = int(orv[w])
+            col = (w << 6) + ((v & -v).bit_length() - 1)
             continue
         pivot = r + int(hits[0])
         work[[r, pivot]] = work[[pivot, r]]
@@ -160,11 +194,10 @@ def rank(rows: np.ndarray) -> int:
         if sel.size:
             work[r + 1 + sel] ^= work[r]
         r += 1
-        if r == k:
-            break
+        col += 1
     return r
 
 
-def is_independent(rows: np.ndarray) -> bool:
+def is_independent(rows: np.ndarray, f: int | None = None) -> bool:
     """True when the packed rows are linearly independent over GF(2)."""
-    return rank(rows) == rows.shape[0]
+    return rank(rows, f=f) == rows.shape[0]

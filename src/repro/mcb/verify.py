@@ -59,7 +59,7 @@ def verify_cycle_basis(g: CSRGraph, cycles: list[Cycle]) -> BasisReport:
         return BasisReport(True, 0, 0, True, True, 0.0)
     ss = spanning_structure(g)
     mat = np.stack([ss.restricted_vector(c.edge_ids) for c in cycles])
-    indep = gf2.is_independent(mat)
+    indep = gf2.is_independent(mat, f=ss.f)
     ok = indep and all_valid
     return BasisReport(
         ok=ok,

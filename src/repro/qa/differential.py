@@ -158,6 +158,26 @@ def _reference_of(registry: dict[str, Implementation]) -> Implementation:
     raise ValueError("registry has no reference implementation")
 
 
+def _all_pairs(n: int) -> np.ndarray:
+    """Every ordered vertex pair as a ``(n*n, 2)`` array (row-major)."""
+    uu, vv = np.meshgrid(
+        np.arange(n, dtype=np.int64), np.arange(n, dtype=np.int64), indexing="ij"
+    )
+    return np.column_stack([uu.ravel(), vv.ravel()])
+
+
+def _oracle_bulk_matrix(g: CSRGraph) -> np.ndarray:
+    from ..apsp.oracle import DistanceOracle
+
+    return DistanceOracle(g).query_many(_all_pairs(g.n)).reshape(g.n, g.n)
+
+
+def _reduced_oracle_bulk_matrix(g: CSRGraph) -> np.ndarray:
+    from ..apsp.reduced_oracle import ReducedDistanceOracle
+
+    return ReducedDistanceOracle(g).query_many(_all_pairs(g.n)).reshape(g.n, g.n)
+
+
 def _builtin_registrations() -> None:
     # Imported here: the apsp/mcb packages must not be a hard import cost
     # (or cycle) for anyone importing repro.qa.strategies alone.
@@ -183,6 +203,11 @@ def _builtin_registrations() -> None:
         lambda g: dijkstra_apsp(g, engine="parallel", workers=2, chunk_size=4),
         stride=25,
     )
+    # Bulk-query fast paths: the vectorized oracle query_many over every
+    # pair must reproduce the full matrix (and is additionally asserted
+    # bit-identical to the scalar query loop by tests/test_bulk_query.py).
+    register_apsp("oracle-bulk", _oracle_bulk_matrix, max_n=96)
+    register_apsp("reduced-oracle-bulk", _reduced_oracle_bulk_matrix, max_n=96)
 
     register_mcb("horton", horton_mcb, max_n=24, reference=True)
     register_mcb("depina", depina_mcb)

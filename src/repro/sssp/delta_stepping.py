@@ -1,10 +1,19 @@
-"""Delta-stepping SSSP (Meyer & Sanders).
+"""Delta-stepping SSSP (Meyer & Sanders), with array-based buckets.
 
 The classic bucketed compromise between Dijkstra (work-efficient, serial)
 and Bellman–Ford (parallel, work-heavy).  Included as a third SSSP kernel
 for the heterogeneous executor: its bucket phases have the same
 "launch a parallel relaxation round" shape as the frontier kernel but with
 far fewer wasted relaxations on weighted graphs.
+
+Buckets are represented as one integer array (``bucket_of[v]`` is the
+bucket id of every queued vertex, ``-1`` when not queued) instead of a
+dict of Python sets.  A bucket drain is then: select the bucket's
+vertices with one mask, gather all their outgoing CSR slots with the
+repeat/arange trick (as :mod:`repro.sssp.frontier` does per round), relax
+every edge with ``np.minimum.at``, and re-bucket the improved vertices
+with one ``np.floor_divide`` — a handful of array passes per round, no
+per-edge Python.
 """
 
 from __future__ import annotations
@@ -12,8 +21,29 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import metrics as _metrics
 
 __all__ = ["delta_stepping"]
+
+_C_ROUNDS = _metrics.counter("delta.bucket_rounds")
+_C_RELAX = _metrics.counter("delta.edges_relaxed")
+
+
+def _gather_slots(
+    indptr: np.ndarray, active: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All CSR slots of ``active`` vertices: ``(slots, source per slot)``."""
+    starts = indptr[active]
+    counts = indptr[active + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    offsets = np.repeat(
+        starts - np.concatenate([[0], np.cumsum(counts)[:-1]]), counts
+    )
+    slots = np.arange(total, dtype=np.int64) + offsets
+    srcs = np.repeat(active, counts)
+    return slots, srcs
 
 
 def delta_stepping(g: CSRGraph, source: int, delta: float | None = None) -> np.ndarray:
@@ -25,8 +55,10 @@ def delta_stepping(g: CSRGraph, source: int, delta: float | None = None) -> np.n
     """
     n = g.n
     dist = np.full(n, np.inf, dtype=np.float64)
+    if n == 0:
+        return dist
     dist[source] = 0.0
-    if g.m == 0 or n == 0:
+    if g.m == 0:
         return dist
     if delta is None:
         delta = float(g.edge_w.mean()) if g.m else 1.0
@@ -35,42 +67,44 @@ def delta_stepping(g: CSRGraph, source: int, delta: float | None = None) -> np.n
     indptr, indices, weights = g.indptr, g.indices, g.weights
     light_mask = weights < delta
 
-    buckets: dict[int, set[int]] = {0: {source}}
+    # bucket_of[v]: integer bucket id while v is queued, -1 otherwise.
+    bucket_of = np.full(n, -1, dtype=np.int64)
+    bucket_of[source] = 0
 
-    def bucket_id(d: float) -> int:
-        return int(d / delta)
+    def relax(slots: np.ndarray, srcs: np.ndarray) -> None:
+        """Relax the given CSR slots in bulk and re-bucket improvements."""
+        if slots.size == 0:
+            return
+        _C_RELAX.inc(int(slots.size))
+        targets = indices[slots]
+        cand = dist[srcs] + weights[slots]
+        old = dist[targets].copy()
+        np.minimum.at(dist, targets, cand)
+        improved = np.unique(targets[dist[targets] < old])
+        if improved.size:
+            bucket_of[improved] = np.floor_divide(dist[improved], delta).astype(
+                np.int64
+            )
 
-    def relax(v: int, nd: float) -> None:
-        if nd < dist[v]:
-            old = dist[v]
-            if np.isfinite(old):
-                b_old = bucket_id(float(old))
-                buckets.get(b_old, set()).discard(v)
-            dist[v] = nd
-            buckets.setdefault(bucket_id(nd), set()).add(v)
-
-    while buckets:
-        i = min(buckets)
-        settled: set[int] = set()
+    while True:
+        queued = bucket_of >= 0
+        if not queued.any():
+            break
+        i = int(bucket_of[queued].min())
+        settled = np.zeros(n, dtype=bool)
         # Phase 1: drain bucket i relaxing light edges (may reinsert).
-        while buckets.get(i):
-            current = buckets.pop(i)
-            settled |= current
-            for u in current:
-                du = float(dist[u])
-                for slot in range(indptr[u], indptr[u + 1]):
-                    if light_mask[slot]:
-                        relax(int(indices[slot]), du + float(weights[slot]))
-            if i in buckets and not buckets[i]:
-                del buckets[i]
-        buckets.pop(i, None)
+        while True:
+            current = np.nonzero(bucket_of == i)[0]
+            if current.size == 0:
+                break
+            _C_ROUNDS.inc()
+            bucket_of[current] = -1
+            settled[current] = True
+            slots, srcs = _gather_slots(indptr, current)
+            light = light_mask[slots]
+            relax(slots[light], srcs[light])
         # Phase 2: relax heavy edges of everything settled in bucket i.
-        for u in settled:
-            du = float(dist[u])
-            for slot in range(indptr[u], indptr[u + 1]):
-                if not light_mask[slot]:
-                    relax(int(indices[slot]), du + float(weights[slot]))
-        # Drop emptied buckets so `min` stays correct.
-        for key in [k for k, s in buckets.items() if not s]:
-            del buckets[key]
+        slots, srcs = _gather_slots(indptr, np.nonzero(settled)[0])
+        heavy = ~light_mask[slots]
+        relax(slots[heavy], srcs[heavy])
     return dist

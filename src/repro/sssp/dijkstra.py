@@ -15,7 +15,7 @@ import heapq
 
 import numpy as np
 
-from ..graph.csr import CSRGraph
+from ..graph.csr import CSRGraph, GraphError
 
 __all__ = ["dijkstra", "dijkstra_tree", "shortest_path"]
 
@@ -91,7 +91,19 @@ def shortest_path(g: CSRGraph, source: int, target: int) -> tuple[float, list[in
     if not np.isfinite(dist[target]):
         return float("inf"), []
     path = [target]
+    # A well-formed parent chain reaches the source in < n hops; anything
+    # longer means the parent array is corrupted (a cycle or a stray -1),
+    # so raise instead of walking forever.
     while path[-1] != source:
-        path.append(int(parent[path[-1]]))
+        if len(path) > g.n:
+            raise GraphError(
+                f"parent chain from {target} exceeds {g.n} hops — corrupted tree"
+            )
+        nxt = int(parent[path[-1]])
+        if nxt < 0:
+            raise GraphError(
+                f"parent chain from {target} hit -1 before reaching {source}"
+            )
+        path.append(nxt)
     path.reverse()
     return float(dist[target]), path

@@ -64,6 +64,15 @@ def test_parallel_backend(baseline):
         assert pl["speedup"] > 1.0
 
 
+def test_bulk_query_fast_path(baseline):
+    bq = baseline["bulk_query"]
+    assert bq["bit_identical"]
+    assert bq["speedup"] >= 10.0
+    assert {"smoke.bulk_query.scalar", "smoke.bulk_query.vectorized"} <= set(
+        baseline["phases"]
+    )
+
+
 def test_paper_rows_present(baseline):
     assert {r["name"] for r in baseline["fig2"]} == {"nopoly", "OPF_3754"}
     assert {r["name"] for r in baseline["table2"]} == {"nopoly", "OPF_3754"}

@@ -186,3 +186,82 @@ class TestRank:
         mod = rows.copy()
         mod[1] ^= mod[0]
         assert gf2.rank(mod) == r1
+
+
+class TestPopcountFallback:
+    """The byte-table fallback must match ``np.bitwise_count`` bit for bit
+    (it is what runs on numpy < 2.0, below the pyproject floor check)."""
+
+    def _reload_without_bitwise_count(self, monkeypatch):
+        import importlib
+
+        monkeypatch.delattr(np, "bitwise_count")
+        return importlib.reload(gf2)
+
+    def test_fallback_selected_and_consistent(self, monkeypatch):
+        import importlib
+
+        bitwise_count = np.bitwise_count  # keep a handle past the delattr
+        try:
+            mod = self._reload_without_bitwise_count(monkeypatch)
+            assert mod._popcount is not bitwise_count
+            rng = np.random.default_rng(3)
+            words = rng.integers(0, 2**63, size=(6, 4)).astype(np.uint64)
+            want = bitwise_count(words)
+            assert np.array_equal(mod._popcount(words).astype(np.uint8), want)
+            # dot / dot_many / rank keep working through the fallback.
+            a = mod.pack(rng.integers(0, 2, 70).astype(bool))
+            b = mod.pack(rng.integers(0, 2, 70).astype(bool))
+            assert mod.dot(a, b) == int((bitwise_count(a & b).sum()) & 1)
+            mat = np.stack([a, b, a ^ b])
+            assert mod.rank(mat, f=70) == 2
+        finally:
+            monkeypatch.undo()
+            importlib.reload(gf2)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_table_matches_bitwise_count(self, seed):
+        # Exercise the table construction directly, independent of the
+        # module-import branch.
+        pop8 = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(
+            axis=1, dtype=np.uint8
+        )
+        rng = np.random.default_rng(seed)
+        words = rng.integers(0, 2**63, size=8).astype(np.uint64)
+        by = words.view(np.uint8)
+        got = pop8[by].reshape(8, 8).sum(axis=-1)
+        assert np.array_equal(got, np.bitwise_count(words))
+
+
+class TestRankColumnBound:
+    """``rank(rows, f=...)`` must ignore padded columns past ``f`` and agree
+    with the unbounded scan on clean inputs."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_bound_matches_unbounded(self, seed):
+        rng = np.random.default_rng(seed)
+        f = int(rng.integers(1, 90))
+        bits = rng.integers(0, 2, size=(6, f)).astype(bool)
+        rows = np.stack([gf2.pack(r) for r in bits])
+        assert gf2.rank(rows, f=f) == gf2.rank(rows)
+
+    def test_padding_garbage_ignored(self):
+        # Rows identical on the first f coordinates but differing in the
+        # padding must not count as independent when the scan is bounded.
+        f = 10
+        a = gf2.pack(np.ones(f, dtype=bool))
+        b = a.copy()
+        b[0] |= np.uint64(1) << np.uint64(60)  # garbage past column f
+        rows = np.stack([a, b])
+        assert gf2.rank(rows, f=f) == 1
+        assert gf2.rank(rows) == 2
+        assert not gf2.is_independent(rows, f=f)
+
+    def test_sparse_column_jump(self):
+        # Pivots only at far-apart columns: the OR-reduce jump must find
+        # them without scanning the zero runs.
+        f = 190
+        rows = np.stack([gf2.unit(f, 3), gf2.unit(f, 130), gf2.unit(f, 189)])
+        assert gf2.rank(rows, f=f) == 3

@@ -220,3 +220,45 @@ class TestBidirectional:
         g = CSRGraph(4, [0, 2], [1, 3])
         d, path = bidirectional_dijkstra(g, 0, 3)
         assert np.isinf(d) and path == []
+
+
+class TestParentChainGuard:
+    """``shortest_path`` must fail loudly on a corrupted parent array
+    instead of walking it forever."""
+
+    def test_cycle_in_parents_raises(self, monkeypatch):
+        from repro.graph.csr import GraphError
+        import importlib
+
+        dj = importlib.import_module("repro.sssp.dijkstra")
+
+        g = path_graph(4)
+        dist = np.array([0.0, 1.0, 2.0, 3.0])
+        parent = np.array([-1, 2, 1, 2])  # 1 <-> 2 cycle, never reaches 0
+        monkeypatch.setattr(
+            dj, "dijkstra_tree", lambda g_, s: (dist, parent, parent.copy())
+        )
+        with pytest.raises(GraphError, match="exceeds"):
+            dj.shortest_path(g, 0, 3)
+
+    def test_premature_minus_one_raises(self, monkeypatch):
+        from repro.graph.csr import GraphError
+        import importlib
+
+        dj = importlib.import_module("repro.sssp.dijkstra")
+
+        g = path_graph(4)
+        dist = np.array([0.0, 1.0, 2.0, 3.0])
+        parent = np.array([-1, 0, -1, 2])  # chain from 3 dead-ends at 2
+        monkeypatch.setattr(
+            dj, "dijkstra_tree", lambda g_, s: (dist, parent, parent.copy())
+        )
+        with pytest.raises(GraphError, match="hit -1"):
+            dj.shortest_path(g, 0, 3)
+
+    def test_healthy_tree_unaffected(self):
+        from repro.sssp.dijkstra import shortest_path
+
+        g = path_graph(5)
+        d, path = shortest_path(g, 0, 4)
+        assert d == 4.0 and path == [0, 1, 2, 3, 4]
