@@ -266,7 +266,7 @@ def main() -> None:
                 phases=baseline["phases"],
                 counters=baseline["obs"]["counters"],
                 memory={"adjacency_cache": baseline["obs"]["adjacency_cache"]},
-                meta={"scale": args.scale, "out": str(args.out)},
+                meta={"scale": args.scale, "out": str(args.out), "scenario": "smoke"},
                 root=ROOT,
             )
         )

@@ -15,6 +15,9 @@ Examples
     repro-bench regress --trace-a before.json --trace-b after.json
     repro-bench watch --once --events run-events
     repro-bench report --ledger RUN_LEDGER.jsonl --out run-report.html
+    repro-bench scenarios --config examples/scenario_smoke.json
+    repro-bench scenarios --scenario clean-theta-apsp tight-deadline-query
+    repro-bench slo --events scenario-events/clean-theta-apsp --budgets b.json
 """
 
 from __future__ import annotations
@@ -482,6 +485,7 @@ def _cmd_regress(args) -> None:
         rel_tol=args.rel_tol,
         mad_k=args.mad_k,
         min_seconds=args.min_seconds,
+        tail_rel_tol=args.tail_rel_tol,
     )
     print(report.render())
     if report.compared == 0:
@@ -516,8 +520,19 @@ def _cmd_watch(args) -> None:
         )
     log = EventLog(events_dir)
     if args.once:
-        frame = render_status(log.read(), stall_after=args.stall_after)
+        events = log.read()
         print(f"watching {events_dir} (single frame)")
+        if not events:
+            # A distinct exit code for "stream held nothing": CI can tell
+            # a mis-pointed REPRO_EVENTS from a rendered-but-idle run.
+            from .obs.slo import EXIT_EMPTY_STREAM
+            from .obs.watch import empty_stream_hint
+
+            print(empty_stream_hint(events_dir))
+            if log.skipped:
+                print(f"({log.skipped} unreadable line(s) skipped)")
+            raise SystemExit(EXIT_EMPTY_STREAM)
+        frame = render_status(events, stall_after=args.stall_after)
         print(frame)
         if log.skipped:
             print(f"({log.skipped} unreadable line(s) skipped)")
@@ -540,7 +555,7 @@ def _cmd_watch(args) -> None:
 def _cmd_report(args) -> None:
     """``repro-bench report`` — self-contained single-file HTML run report.
 
-    Assembles the five report sections from whatever inputs exist: the
+    Assembles the report sections from whatever inputs exist: the
     Chrome trace (``--trace``), the event stream (``--events``), and the
     run ledger (``--ledger`` / ``REPRO_LEDGER``) for counters, memory,
     history, and the regression verdict.  When a ledgered profile record
@@ -604,6 +619,107 @@ def _cmd_report(args) -> None:
     print(f"wrote report to {out} ({', '.join(s for s in srcs if s) or 'no inputs'})")
 
 
+def _cmd_slo(args) -> None:
+    """``repro-bench slo`` — judge an event stream against SLO budgets.
+
+    Reads the merged event stream (``--events`` / ``REPRO_EVENTS``),
+    extracts per-phase/per-chunk/per-query latency distributions, and —
+    when ``--budgets`` names a JSON budget list — gates them.  Exit
+    codes: 0 all budgets met, 1 violated, 2 a budget named a metric the
+    stream lacks, 3 the stream held no events at all.
+    """
+    from .obs.events import EventLog, default_events_dir
+    from .obs.slo import (
+        EXIT_EMPTY_STREAM,
+        parse_budgets,
+        slo_from_events,
+    )
+    from .obs.watch import empty_stream_hint
+
+    events_dir = args.events or default_events_dir()
+    if events_dir is None:
+        raise SystemExit(
+            "slo: no event directory (pass --events DIR or set REPRO_EVENTS)"
+        )
+    budgets = []
+    if args.budgets:
+        with open(args.budgets) as fh:
+            doc = json.load(fh)
+        if isinstance(doc, dict) and "scenarios" in doc:
+            raise SystemExit(
+                f"slo: {args.budgets} is a scenario-matrix config; run it "
+                "with 'repro-bench scenarios --config', or point --budgets "
+                "at a budget list / single scenario object"
+            )
+        if isinstance(doc, dict) and "slo" in doc:
+            doc = doc["slo"]  # accept a single scenario object's slo block
+        budgets = parse_budgets(doc)
+    log = EventLog(events_dir)
+    events = log.read()
+    if log.skipped:
+        print(f"events: skipped {log.skipped} unreadable line(s)")
+    if not events:
+        print(empty_stream_hint(events_dir))
+        raise SystemExit(EXIT_EMPTY_STREAM)
+    report = slo_from_events(events, budgets)
+    print(f"slo gate over {events_dir} ({len(events)} events)")
+    print()
+    print(report.render())
+    if not budgets:
+        print()
+        print("(no --budgets file: distributions reported, nothing gated)")
+    if report.exit_code:
+        raise SystemExit(report.exit_code)
+
+
+def _cmd_scenarios(args) -> None:
+    """``repro-bench scenarios`` — run the deadline-driven scenario matrix.
+
+    ``--config`` loads a JSON/TOML scenario file (see ``examples/``);
+    ``--scenario`` picks builtin library scenarios by name; with neither,
+    the whole builtin library runs.  Each scenario executes through the
+    real engine/hetero runners (fault profiles included) into its own
+    event directory under ``--events-out``, is judged against its SLO
+    budgets, and — with a ledger configured — appends a ``scenario``
+    record carrying the verdict and tail percentiles.  Exit code is the
+    worst per-scenario SLO exit code.
+    """
+    from .scenarios import (
+        builtin_scenarios,
+        get_scenario,
+        load_config,
+        render_matrix,
+        run_matrix,
+    )
+
+    if args.config:
+        configs = load_config(args.config)
+        source = args.config
+    elif args.scenario:
+        configs = [get_scenario(name) for name in args.scenario]
+        source = "builtin library (selected)"
+    else:
+        configs = builtin_scenarios()
+        source = "builtin library"
+    events_root = args.events_out or "scenario-events"
+    ledger = _resolve_ledger(args)
+    print(f"running {len(configs)} scenario(s) from {source} -> {events_root}/")
+    print()
+    results = run_matrix(configs, events_root, ledger=ledger)
+    print(render_matrix(results))
+    worst = max(r.slo.exit_code for r in results)
+    for r in results:
+        if not r.ok:
+            print()
+            print(f"--- {r.config.name} ---")
+            print(r.slo.render())
+    if ledger is not None:
+        print()
+        print(f"ledger: appended {len(results)} scenario record(s) to {ledger.path}")
+    if worst:
+        raise SystemExit(worst)
+
+
 def _cmd_all(args) -> None:
     for fn in (_cmd_table1, _cmd_fig2, _cmd_table2, _cmd_phases):
         fn(args)
@@ -619,7 +735,7 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             "table1", "fig2", "table2", "phases", "datasets", "qa",
-            "profile", "regress", "watch", "report", "all",
+            "profile", "regress", "watch", "report", "scenarios", "slo", "all",
         ],
     )
     parser.add_argument(
@@ -648,8 +764,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--events-out",
         default=None,
-        help="profile: directory for the structured event stream "
-             "(per-pid JSONL shards; read back with watch/report)",
+        help="profile/scenarios: directory for the structured event stream "
+             "(per-pid JSONL shards; scenarios nests one subdir per scenario)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="scenarios: JSON/TOML scenario config file (see examples/)",
+    )
+    parser.add_argument(
+        "--scenario",
+        nargs="*",
+        default=None,
+        help="scenarios: builtin scenario name(s) to run "
+             "(default: the whole builtin library)",
+    )
+    parser.add_argument(
+        "--budgets",
+        default=None,
+        help="slo: JSON file with the budget list (or a scenario object; "
+             "its 'slo' block is used)",
     )
     parser.add_argument(
         "--events",
@@ -728,6 +862,14 @@ def main(argv: list[str] | None = None) -> int:
         help="regress: relative slowdown tolerance per phase",
     )
     parser.add_argument(
+        "--tail-rel-tol",
+        type=float,
+        default=0.75,
+        help="regress: relative tolerance for tail-latency phases "
+             "(.p90/.p99/.p999/.jitter names; wider because tail "
+             "estimates are noisier)",
+    )
+    parser.add_argument(
         "--mad-k",
         type=float,
         default=5.0,
@@ -766,6 +908,8 @@ def main(argv: list[str] | None = None) -> int:
         "regress": _cmd_regress,
         "watch": _cmd_watch,
         "report": _cmd_report,
+        "scenarios": _cmd_scenarios,
+        "slo": _cmd_slo,
         "all": _cmd_all,
     }[args.command](args)
     return 0

@@ -22,8 +22,12 @@ This package makes that accounting first-class for the reproduction:
   benchmark run stamped with git SHA, host fingerprint, knobs, per-phase
   times, counters, and memory stats.
 * :mod:`repro.obs.regress` — the noise-aware regression gate over the
-  ledger (median + MAD bands, per-phase attribution) plus the
-  Chrome-trace differ; surfaced as ``repro-bench regress``.
+  ledger (median + MAD bands, per-phase attribution, wider tail-latency
+  bands) plus the Chrome-trace differ; surfaced as ``repro-bench regress``.
+* :mod:`repro.obs.slo` — latency/jitter distributions (p50…p999, IQR,
+  deadline misses) extracted from merged event streams and judged
+  against declared SLO budgets; surfaced as ``repro-bench slo`` and the
+  scenario harness of :mod:`repro.scenarios`.
 
 Enable tracing with the ``REPRO_TRACE`` environment variable (``1`` to
 collect, a ``*.json`` path to also write a Chrome trace at process exit)
@@ -103,10 +107,26 @@ from .regress import (
     compare,
     diff_chrome_traces,
     extract_phases,
+    is_tail_phase,
     measure_profile_phases,
     phase_totals,
 )
 from .report import REPORT_SECTIONS, build_report, validate_report, write_report
+from .slo import (
+    EXIT_EMPTY_STREAM,
+    EXIT_NO_DATA,
+    EXIT_OK,
+    EXIT_VIOLATED,
+    LatencyStats,
+    SLOBudget,
+    SLOReport,
+    SLOVerdict,
+    evaluate,
+    extract_latencies,
+    parse_budgets,
+    percentile,
+    slo_from_events,
+)
 from .trace import (
     Span,
     TraceCollector,
@@ -115,7 +135,13 @@ from .trace import (
     tracing,
     tracing_enabled,
 )
-from .watch import Watchdog, heartbeats_from_events, render_status, resolve_stall_after
+from .watch import (
+    Watchdog,
+    empty_stream_hint,
+    heartbeats_from_events,
+    render_status,
+    resolve_stall_after,
+)
 
 __all__ = [
     # trace
@@ -149,9 +175,24 @@ __all__ = [
     "events_to",
     # watch
     "Watchdog",
+    "empty_stream_hint",
     "heartbeats_from_events",
     "render_status",
     "resolve_stall_after",
+    # slo
+    "EXIT_EMPTY_STREAM",
+    "EXIT_NO_DATA",
+    "EXIT_OK",
+    "EXIT_VIOLATED",
+    "LatencyStats",
+    "SLOBudget",
+    "SLOReport",
+    "SLOVerdict",
+    "evaluate",
+    "extract_latencies",
+    "parse_budgets",
+    "percentile",
+    "slo_from_events",
     # report
     "REPORT_SECTIONS",
     "build_report",
@@ -191,6 +232,7 @@ __all__ = [
     "compare",
     "diff_chrome_traces",
     "extract_phases",
+    "is_tail_phase",
     "measure_profile_phases",
     "phase_totals",
 ]

@@ -204,8 +204,16 @@ class Ledger:
             os.close(fd)
         return record
 
-    def records(self, kind: str | None = None) -> list[RunRecord]:
-        """Every parseable record, oldest first, optionally filtered by kind."""
+    def records(
+        self, kind: str | None = None, scenario: str | None = None
+    ) -> list[RunRecord]:
+        """Every parseable record, oldest first, optionally filtered.
+
+        ``kind`` filters on the record kind; ``scenario`` on the
+        ``meta.scenario`` stamp the scenario runner (and ``bench_smoke``,
+        which stamps ``"smoke"``) writes — the longitudinal key for one
+        named workload's history.
+        """
         self.skipped = 0
         if not self.path.exists():
             return []
@@ -220,23 +228,32 @@ class Ledger:
                 except (json.JSONDecodeError, LedgerError):
                     self.skipped += 1
                     continue
-                if kind is None or rec.kind == kind:
-                    out.append(rec)
+                if kind is not None and rec.kind != kind:
+                    continue
+                if scenario is not None and rec.meta.get("scenario") != scenario:
+                    continue
+                out.append(rec)
         return out
 
-    def latest(self, kind: str | None = None) -> RunRecord | None:
-        recs = self.records(kind)
+    def latest(
+        self, kind: str | None = None, scenario: str | None = None
+    ) -> RunRecord | None:
+        recs = self.records(kind, scenario=scenario)
         return recs[-1] if recs else None
 
     def phase_history(
-        self, kind: str | None = None, limit: int | None = None
+        self,
+        kind: str | None = None,
+        limit: int | None = None,
+        scenario: str | None = None,
     ) -> dict[str, list[float]]:
         """Per-phase time series across the (optionally ``limit`` newest) runs.
 
         This is the regression gate's noise model input: enough repeats to
-        take a median and a MAD band per phase.
+        take a median and a MAD band per phase.  ``scenario`` narrows the
+        series to one named scenario's records.
         """
-        recs = self.records(kind)
+        recs = self.records(kind, scenario=scenario)
         if limit is not None:
             recs = recs[-limit:]
         out: dict[str, list[float]] = {}

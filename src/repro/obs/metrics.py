@@ -17,7 +17,10 @@ exactly the activity of its own window.
 from __future__ import annotations
 
 import math
+import os
+import random
 import threading
+import zlib
 
 __all__ = [
     "Counter",
@@ -65,16 +68,25 @@ class Gauge:
 class Histogram:
     """Streaming count / sum / min / max of observed values.
 
-    The first :data:`MAX_SAMPLES` observations are additionally retained
-    verbatim so :meth:`percentile` can answer exactly; beyond the cap the
-    aggregates stay exact while percentiles describe the retained prefix
-    (the repo's instruments observe well under the cap per run).
+    **Retention-cap semantics.**  The first :data:`RETAIN_CAP`
+    observations are retained verbatim, so :meth:`percentile` answers
+    exactly.  Beyond the cap, the aggregates (count/sum/min/max/mean)
+    stay exact while the retained set switches to *reservoir sampling*
+    (Vitter's Algorithm R): each subsequent observation replaces a
+    random retained sample with probability ``RETAIN_CAP / count``, so
+    the reservoir remains a uniform sample of the whole stream and
+    :meth:`percentile` stays an unbiased estimate of the true tail —
+    rather than silently describing only the first 4096 observations.
+    The reservoir's RNG is seeded from ``REPRO_SEED`` and the instrument
+    name, so runs with a pinned seed retain bit-identical samples.
     """
 
-    __slots__ = ("name", "count", "sum", "min", "max", "samples")
+    __slots__ = ("name", "count", "sum", "min", "max", "samples", "_rng")
 
-    #: Retention cap for exact percentile queries.
-    MAX_SAMPLES = 4096
+    #: Retention cap: exact percentiles below it, uniform reservoir above.
+    RETAIN_CAP = 4096
+    #: Backwards-compatible alias for the cap's historical name.
+    MAX_SAMPLES = RETAIN_CAP
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -83,6 +95,13 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self.samples: list[float] = []
+        self._rng: random.Random | None = None  # armed at first overflow
+
+    def _reservoir_rng(self) -> random.Random:
+        if self._rng is None:
+            seed = int(os.environ.get("REPRO_SEED", "0") or "0")
+            self._rng = random.Random((seed << 32) ^ zlib.crc32(self.name.encode()))
+        return self._rng
 
     def observe(self, v: float) -> None:
         v = float(v)
@@ -92,8 +111,12 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
-        if len(self.samples) < self.MAX_SAMPLES:
+        if len(self.samples) < self.RETAIN_CAP:
             self.samples.append(v)
+        else:
+            j = self._reservoir_rng().randrange(self.count)
+            if j < self.RETAIN_CAP:
+                self.samples[j] = v
 
     @property
     def mean(self) -> float:
@@ -191,6 +214,7 @@ class MetricsRegistry:
                     inst.count, inst.sum = 0, 0.0
                     inst.min, inst.max = math.inf, -math.inf
                     inst.samples.clear()
+                    inst._rng = None  # re-derive the reservoir seed next overflow
 
 
 def metrics_diff(before: dict, after: dict) -> dict:

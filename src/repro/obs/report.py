@@ -15,7 +15,10 @@ obs layer knows about a run:
    (``a² + Σ nᵢ²`` against dense ``n²``) from :mod:`repro.obs.memory`
    gauges and the recorded model block.
 4. **Counters** — the run's :mod:`repro.obs.metrics` counter diff.
-5. **Ledger history** — per-phase sparklines over the run ledger with
+5. **SLO panel** — latency budgets vs measured percentiles from
+   :mod:`repro.obs.slo` (ledgered by the scenario runner or recomputed
+   from the event stream), with a per-sample deadline-miss timeline.
+6. **Ledger history** — per-phase sparklines over the run ledger with
    the :mod:`repro.obs.regress` verdict for the newest run.
 
 Sections degrade independently: missing inputs render as an explicit
@@ -37,9 +40,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["REPORT_SECTIONS", "build_report", "write_report", "validate_report"]
 
-#: The five mandatory sections, in render order; ``validate_report``
+#: The mandatory sections, in render order; ``validate_report``
 #: checks each ``id="section-<name>"`` anchor exists.
-REPORT_SECTIONS = ("waterfall", "timeline", "memory", "counters", "history")
+REPORT_SECTIONS = ("waterfall", "timeline", "memory", "counters", "slo", "history")
 
 _PALETTE = (
     "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
@@ -461,7 +464,175 @@ def _counters_section(record: "RunRecord | None") -> str:
 
 
 # --------------------------------------------------------------------- #
-# Section 5 — ledger-history sparklines + regression verdict
+# Section 5 — SLO panel: budgets vs measured tails + miss timeline
+# --------------------------------------------------------------------- #
+
+
+def _metric_of(ev: dict) -> str | None:
+    """The SLO metric key a ``*.finish`` event contributes to (or None)."""
+    kind = ev.get("kind", "")
+    if not kind.endswith(".finish") or not isinstance(
+        ev.get("dur_ns"), (int, float)
+    ):
+        return None
+    base = kind[: -len(".finish")]
+    if base == "phase":
+        return f"phase.{ev.get('cat', '?')}.{ev.get('phase', '?')}"
+    return base
+
+
+def _miss_timeline_svg(events: list[dict], deadlines: dict[str, float]) -> str:
+    """Per-sample deadline scatter: one lane per deadlined metric.
+
+    Every sample renders at its stream timestamp — green under the
+    deadline, red above it — with the deadline miss count per lane, so a
+    burst of misses is visually distinguishable from an evenly-spread
+    tail.
+    """
+    timed = [
+        (m, ev) for ev in events
+        if (m := _metric_of(ev)) is not None and m in deadlines
+    ]
+    if not timed:
+        return ""
+    t0 = min(ev["ts_ns"] for _, ev in timed)
+    t1 = max(ev["ts_ns"] for _, ev in timed)
+    span = max(t1 - t0, 1)
+    width, left, laneh = 960.0, 190.0, 30.0
+    plot_w = width - left - 10
+    lanes = []
+    y = 4.0
+    for metric in sorted({m for m, _ in timed}):
+        deadline = deadlines[metric]
+        evs = [ev for m, ev in timed if m == metric]
+        worst = max(float(ev["dur_ns"]) / 1e9 for ev in evs)
+        scale = max(worst, deadline) or 1.0
+        misses = sum(1 for ev in evs if float(ev["dur_ns"]) / 1e9 > deadline)
+        marks = [
+            f'<line x1="{left}" y1="{y + laneh - 6 - deadline / scale * (laneh - 10):.1f}"'
+            f' x2="{width - 10}" y2="{y + laneh - 6 - deadline / scale * (laneh - 10):.1f}"'
+            ' stroke="#c0392b" stroke-dasharray="4 3" stroke-width="1"/>'
+        ]
+        for ev in evs:
+            dur = float(ev["dur_ns"]) / 1e9
+            cx = left + (ev["ts_ns"] - t0) / span * plot_w
+            cy = y + laneh - 6 - dur / scale * (laneh - 10)
+            color = "#c0392b" if dur > deadline else "#59a14f"
+            marks.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="1.8" fill="{color}">'
+                f"<title>{_esc(metric)}: {dur * 1e3:.3f} ms "
+                f"(deadline {deadline * 1e3:.3f} ms)</title></circle>"
+            )
+        label = f"{metric} ({misses}/{len(evs)} missed)"
+        lanes.append(
+            f'<g><text x="4" y="{y + laneh / 2 + 3:.1f}">{_esc(label[:32])}</text>'
+            + "".join(marks) + "</g>"
+        )
+        y += laneh + 4
+    return (
+        "<h3 style=\"font-size:13px;margin:14px 0 4px\">deadline-miss "
+        "timeline</h3>"
+        f'<svg width="{width:.0f}" height="{y + 4:.0f}" '
+        f'viewBox="0 0 {width:.0f} {y + 4:.0f}">' + "".join(lanes) + "</svg>"
+        '<p class="note">dashed line: per-sample deadline; red samples '
+        "missed it</p>"
+    )
+
+
+def _slo_section(
+    events: list[dict] | None, record: "RunRecord | None"
+) -> str:
+    """Budgets vs measured percentiles, plus the deadline-miss timeline.
+
+    Prefers the SLO block the scenario runner ledgered in
+    ``record.meta["slo"]`` (the judged verdicts); falls back to
+    recomputing distributions from the event stream when the run carried
+    no budgets, so the panel still shows tails for ad-hoc runs.
+    """
+
+    def _ms(v) -> str:
+        return f"{float(v) * 1e3:.3f}"
+
+    slo_doc = (record.meta.get("slo") if record is not None else None) or {}
+    stats = slo_doc.get("stats") or {}
+    verdicts = slo_doc.get("verdicts") or []
+    if not stats and events:
+        from .slo import extract_latencies, LatencyStats
+
+        stats = {
+            metric: LatencyStats.from_samples(metric, samples).as_dict()
+            for metric, samples in sorted(extract_latencies(events).items())
+            if samples
+        }
+    if not stats and not verdicts:
+        return _nodata(
+            "no SLO data (run repro-bench scenarios, or pass --events from "
+            "a run with timed events)"
+        )
+    parts: list[str] = []
+    overall = slo_doc.get("verdict")
+    if overall:
+        cls = "ok" if overall == "ok" else "bad"
+        parts.append(f'<p>scenario verdict: <span class="{cls}">{_esc(overall)}</span></p>')
+    if verdicts:
+        rows = []
+        for v in verdicts:
+            frac = v.get("stat") == "miss_frac"
+            measured = v.get("measured")
+            status = str(v.get("status", "?"))
+            cls = "ok" if status == "ok" else "bad"
+            limit_cell = (
+                f"{float(v.get('limit', 0)):.4f}" if frac
+                else f"{_ms(v.get('limit', 0))} ms"
+            )
+            if measured is None:
+                measured_cell = "-"
+            else:
+                measured_cell = (
+                    f"{float(measured):.4f}" if frac else f"{_ms(measured)} ms"
+                )
+            rows.append(
+                f"<tr><td>{_esc(v.get('metric'))}</td>"
+                f"<td>{_esc(v.get('stat'))}</td>"
+                f"<td>{limit_cell}</td><td>{measured_cell}</td>"
+                f'<td><span class="{cls}">{_esc(status)}</span></td></tr>'
+            )
+        parts.append(
+            "<table><tr><th>budget</th><th>stat</th><th>limit</th>"
+            "<th>measured</th><th>verdict</th></tr>" + "".join(rows) + "</table>"
+        )
+    if stats:
+        rows = "".join(
+            f"<tr><td>{_esc(m)}</td><td>{st.get('count')}</td>"
+            f"<td>{_ms(st.get('p50'))}</td><td>{_ms(st.get('p90'))}</td>"
+            f"<td>{_ms(st.get('p99'))}</td><td>{_ms(st.get('p999'))}</td>"
+            f"<td>{_ms(st.get('jitter_iqr'))}</td>"
+            f"<td>{_ms(st.get('jitter_range'))}</td>"
+            f"<td>{st.get('misses') if st.get('deadline_s') is not None else '-'}</td></tr>"
+            for m, st in sorted(stats.items())
+        )
+        parts.append(
+            "<table><tr><th>metric</th><th>n</th><th>p50 ms</th>"
+            "<th>p90 ms</th><th>p99 ms</th><th>p999 ms</th><th>IQR ms</th>"
+            "<th>range ms</th><th>misses</th></tr>" + rows + "</table>"
+        )
+    deadlines = {
+        m: float(st["deadline_s"])
+        for m, st in stats.items()
+        if isinstance(st, dict) and st.get("deadline_s") is not None
+    }
+    if events and deadlines:
+        parts.append(_miss_timeline_svg(events, deadlines))
+    elif deadlines:
+        parts.append(
+            '<p class="note">deadline-miss timeline needs the event stream '
+            "(pass --events)</p>"
+        )
+    return "".join(parts)
+
+
+# --------------------------------------------------------------------- #
+# Section 6 — ledger-history sparklines + regression verdict
 # --------------------------------------------------------------------- #
 
 
@@ -545,7 +716,7 @@ def build_report(
     record: "RunRecord | None" = None,
     history: "list[RunRecord] | None" = None,
 ) -> str:
-    """Assemble the five-section single-file HTML report.
+    """Assemble the single-file HTML report (:data:`REPORT_SECTIONS`).
 
     Every input is optional; absent data renders as an explicit note so
     the section anchors (and :func:`validate_report`) always hold.
@@ -578,6 +749,10 @@ def build_report(
         ),
         "memory": ("Table-1 memory: measured vs model", _memory_section(record)),
         "counters": ("Counters", _counters_section(record)),
+        "slo": (
+            "SLO panel: budgets vs measured tails",
+            _slo_section(events, record),
+        ),
         "history": ("Ledger history & regression verdict", _history_section(history)),
     }
     body = "".join(
@@ -604,8 +779,9 @@ def write_report(path, **kwargs) -> str:
 def validate_report(doc: str) -> list[str]:
     """Smoke-check an emitted report; returns problems (empty = valid).
 
-    Verifies the document parses as HTML, carries all five section
-    anchors, and references no external network resources — the
+    Verifies the document parses as HTML, carries every
+    :data:`REPORT_SECTIONS` anchor, and references no external network
+    resources — the
     "self-contained single file" contract CI gates on.
     """
     problems: list[str] = []

@@ -1,0 +1,479 @@
+"""Latency/jitter SLO gate over merged event streams (``repro-bench slo``).
+
+The rest of ``repro.obs`` records what a run did; this module asserts what
+it was *allowed* to do.  It extracts per-phase / per-chunk / per-query
+latency distributions from a merged :mod:`repro.obs.events` stream,
+summarises each as tail percentiles plus jitter, and judges the summaries
+against declared budgets with exit-coded verdicts — the CORTEX-style
+deadline harness of ROADMAP item 5, and the serving-latency contract the
+distance-oracle query service (item 1) gates on.
+
+Latency sources, keyed by metric name:
+
+``phase.<cat>.<phase>``
+    ``phase.finish`` events carry ``dur_ns`` (the :func:`~repro.obs.
+    events.emitting` bracket), one sample per pipeline phase execution.
+``chunk``
+    ``chunk.start`` / ``chunk.finish`` pairs from the bulk-SSSP engine,
+    paired per pid in stream order (chunks never nest within a process).
+``dispatch``
+    ``dispatch.start`` / ``dispatch.finish`` pairs from the parallel
+    backend's fan-out brackets.
+``query`` / ``query_batch``
+    ``query.finish`` / ``query_batch.finish`` events with ``dur_ns``,
+    emitted by the scenario runner's query load
+    (:mod:`repro.scenarios.runner`).
+
+Percentiles use the same linear interpolation as
+:meth:`repro.obs.metrics.Histogram.percentile`, so the two agree to the
+sample on identical data (pinned by the test suite).  Jitter is reported
+both ways the real-time literature uses the word: interquartile range
+(``jitter_iqr``, robust) and full spread (``jitter_range``, worst-case).
+
+Exit codes (shared with ``repro-bench slo`` / ``scenarios`` / ``watch``):
+
+* :data:`EXIT_OK` (0) — every budget met;
+* :data:`EXIT_VIOLATED` (1) — at least one budget violated;
+* :data:`EXIT_NO_DATA` (2) — budgets name metrics the stream lacks;
+* :data:`EXIT_EMPTY_STREAM` (3) — no parseable events at all (see
+  :func:`repro.obs.watch.empty_stream_hint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_VIOLATED",
+    "EXIT_NO_DATA",
+    "EXIT_EMPTY_STREAM",
+    "STAT_NAMES",
+    "percentile",
+    "LatencyStats",
+    "extract_latencies",
+    "SLOBudget",
+    "parse_budgets",
+    "SLOVerdict",
+    "SLOReport",
+    "evaluate",
+    "slo_from_events",
+]
+
+EXIT_OK = 0
+EXIT_VIOLATED = 1
+EXIT_NO_DATA = 2
+EXIT_EMPTY_STREAM = 3
+
+#: Statistics a budget may bound, in render order.
+STAT_NAMES = (
+    "p50", "p90", "p99", "p999", "mean", "max",
+    "jitter_iqr", "jitter_range", "miss_frac",
+)
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """The ``p``-th percentile (0–100) with linear interpolation.
+
+    Bit-for-bit the same rank arithmetic as
+    :meth:`repro.obs.metrics.Histogram.percentile`, so SLO verdicts and
+    histogram snapshots never disagree on shared data.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile {p!r} outside [0, 100]")
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    ordered = sorted(samples)
+    rank = (len(ordered) - 1) * (p / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """One metric's latency distribution, summarised for budget checks.
+
+    All durations are seconds.  ``misses``/``miss_frac`` are only
+    meaningful when a ``deadline_s`` was declared for the metric —
+    without one they are 0 against a ``deadline_s`` of ``None``.
+    """
+
+    metric: str
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    min: float
+    max: float
+    jitter_iqr: float
+    jitter_range: float
+    deadline_s: float | None = None
+    misses: int = 0
+
+    @property
+    def miss_frac(self) -> float:
+        return self.misses / self.count if self.count else 0.0
+
+    @classmethod
+    def from_samples(
+        cls, metric: str, samples: list[float], deadline_s: float | None = None
+    ) -> "LatencyStats":
+        if not samples:
+            raise ValueError(f"metric {metric!r} has no samples")
+        ordered = sorted(samples)
+        n = len(ordered)
+        misses = (
+            sum(1 for s in ordered if s > deadline_s)
+            if deadline_s is not None
+            else 0
+        )
+        return cls(
+            metric=metric,
+            count=n,
+            mean=sum(ordered) / n,
+            p50=percentile(ordered, 50.0),
+            p90=percentile(ordered, 90.0),
+            p99=percentile(ordered, 99.0),
+            p999=percentile(ordered, 99.9),
+            min=ordered[0],
+            max=ordered[-1],
+            jitter_iqr=percentile(ordered, 75.0) - percentile(ordered, 25.0),
+            jitter_range=ordered[-1] - ordered[0],
+            deadline_s=deadline_s,
+            misses=misses,
+        )
+
+    def value(self, stat: str) -> float:
+        """The named statistic (one of :data:`STAT_NAMES`, plus min/count)."""
+        if stat not in STAT_NAMES and stat not in ("min", "count"):
+            raise ValueError(f"unknown latency statistic {stat!r}")
+        return float(getattr(self, stat))
+
+    def as_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "p999": self.p999,
+            "min": self.min,
+            "max": self.max,
+            "jitter_iqr": self.jitter_iqr,
+            "jitter_range": self.jitter_range,
+            "deadline_s": self.deadline_s,
+            "misses": self.misses,
+            "miss_frac": self.miss_frac,
+        }
+
+
+def extract_latencies(events: list[dict]) -> dict[str, list[float]]:
+    """Per-metric latency samples (seconds) from a merged event stream.
+
+    ``*.finish`` events carrying ``dur_ns`` contribute directly (phase
+    brackets become ``phase.<cat>.<phase>``); bare ``chunk`` and
+    ``dispatch`` start/finish pairs are matched per pid in stream order.
+    Events the stream's writers never produced simply yield no metric —
+    callers decide whether an absent metric is an error
+    (:data:`EXIT_NO_DATA`) or not.
+    """
+    out: dict[str, list[float]] = {}
+    open_pairs: dict[tuple[str, int], list[int]] = {}
+    for ev in events:
+        kind = ev.get("kind", "")
+        dur = ev.get("dur_ns")
+        if kind.endswith(".finish") and isinstance(dur, (int, float)):
+            base = kind[: -len(".finish")]
+            if base == "phase":
+                key = f"phase.{ev.get('cat', '?')}.{ev.get('phase', '?')}"
+            else:
+                key = base
+            out.setdefault(key, []).append(float(dur) / 1e9)
+            continue
+        base, _, tail = kind.rpartition(".")
+        if base in ("chunk", "dispatch"):
+            stack = open_pairs.setdefault((base, ev["pid"]), [])
+            if tail == "start":
+                stack.append(ev["ts_ns"])
+            elif tail == "finish" and stack:
+                t0 = stack.pop(0)
+                out.setdefault(base, []).append((ev["ts_ns"] - t0) / 1e9)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Budgets
+# --------------------------------------------------------------------- #
+
+#: Budget-dict keys that bound a statistic, with their unit scale to
+#: seconds.  ``*_ms`` variants exist because millisecond budgets are what
+#: humans actually write in scenario configs.
+_BUDGET_KEYS: dict[str, tuple[str, float]] = {}
+for _stat in ("p50", "p90", "p99", "p999", "mean", "max",
+              "jitter_iqr", "jitter_range"):
+    _BUDGET_KEYS[f"{_stat}_s"] = (_stat, 1.0)
+    _BUDGET_KEYS[f"{_stat}_ms"] = (_stat, 1e-3)
+_BUDGET_KEYS["miss_frac"] = ("miss_frac", 1.0)
+
+
+@dataclass(frozen=True)
+class SLOBudget:
+    """One bound: ``metric``'s ``stat`` must not exceed ``limit``.
+
+    ``limit`` is seconds for duration statistics and a fraction for
+    ``miss_frac``.  ``deadline_s`` rides along on every budget of a
+    metric so miss counting knows its threshold.
+    """
+
+    metric: str
+    stat: str
+    limit: float
+    deadline_s: float | None = None
+
+
+def parse_budgets(spec) -> list[SLOBudget]:
+    """Parse the declarative budget list of a scenario config.
+
+    ``spec`` is a list of dicts, one per metric::
+
+        [{"metric": "query", "p99_ms": 5.0, "deadline_ms": 10.0,
+          "miss_frac": 0.01},
+         {"metric": "phase.apsp.process", "p50_s": 2.0}]
+
+    Duration statistics take an ``_s`` or ``_ms`` suffix; ``deadline_ms``
+    / ``deadline_s`` declares the per-sample deadline that ``miss_frac``
+    counts against.  Unknown keys raise :class:`ValueError` naming the
+    accepted ones, so a typo'd budget fails the config load, not the run.
+    """
+    if isinstance(spec, dict):
+        spec = [spec]
+    if not isinstance(spec, list):
+        raise ValueError(
+            f"slo budgets must be a list of objects, got {type(spec).__name__}"
+        )
+    out: list[SLOBudget] = []
+    for i, entry in enumerate(spec):
+        if not isinstance(entry, dict):
+            raise ValueError(f"slo budget #{i} must be an object, got {entry!r}")
+        metric = entry.get("metric")
+        if not isinstance(metric, str) or not metric:
+            raise ValueError(f"slo budget #{i} missing 'metric' name")
+        deadline = None
+        if "deadline_s" in entry:
+            deadline = float(entry["deadline_s"])
+        elif "deadline_ms" in entry:
+            deadline = float(entry["deadline_ms"]) * 1e-3
+        bounds: list[tuple[str, float]] = []
+        for key, val in entry.items():
+            if key in ("metric", "deadline_s", "deadline_ms"):
+                continue
+            if key not in _BUDGET_KEYS:
+                raise ValueError(
+                    f"slo budget #{i} ({metric}): unknown key {key!r}; "
+                    f"accepted: metric, deadline_s/deadline_ms, "
+                    f"{', '.join(sorted(_BUDGET_KEYS))}"
+                )
+            stat, scale = _BUDGET_KEYS[key]
+            limit = float(val) * scale
+            if limit < 0:
+                raise ValueError(f"slo budget #{i} ({metric}): {key} is negative")
+            bounds.append((stat, limit))
+        if not bounds and deadline is None:
+            raise ValueError(
+                f"slo budget #{i} ({metric}) declares no bounds — add e.g. p99_ms"
+            )
+        if deadline is not None and not any(s == "miss_frac" for s, _ in bounds):
+            # A bare deadline bounds nothing by itself; default to "no
+            # misses at all", the strict reading of a hard deadline.
+            bounds.append(("miss_frac", 0.0))
+        for stat, limit in bounds:
+            out.append(SLOBudget(metric, stat, limit, deadline_s=deadline))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Verdicts
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SLOVerdict:
+    """One budget's outcome against the measured distribution."""
+
+    metric: str
+    stat: str
+    limit: float
+    measured: float | None
+    status: str  # "ok" | "violated" | "no-data"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def as_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "stat": self.stat,
+            "limit": self.limit,
+            "measured": self.measured,
+            "status": self.status,
+        }
+
+
+@dataclass
+class SLOReport:
+    """All verdicts plus the distributions they were judged on."""
+
+    stats: dict[str, LatencyStats] = field(default_factory=dict)
+    verdicts: list[SLOVerdict] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[SLOVerdict]:
+        return [v for v in self.verdicts if v.status == "violated"]
+
+    @property
+    def missing(self) -> list[SLOVerdict]:
+        return [v for v in self.verdicts if v.status == "no-data"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.missing
+
+    @property
+    def verdict(self) -> str:
+        if self.violations:
+            return "violated"
+        if self.missing:
+            return "no-data"
+        return "ok"
+
+    @property
+    def exit_code(self) -> int:
+        if self.violations:
+            return EXIT_VIOLATED
+        if self.missing:
+            return EXIT_NO_DATA
+        return EXIT_OK
+
+    def render(self) -> str:
+        """Terminal report: distributions first, then the budget table."""
+        from ..bench.reporting import format_table
+
+        def _ms(v: float) -> str:
+            return f"{v * 1e3:.3f}"
+
+        lines: list[str] = []
+        if self.stats:
+            lines.append(
+                format_table(
+                    ["metric", "n", "p50 ms", "p90 ms", "p99 ms", "p999 ms",
+                     "IQR ms", "range ms", "misses"],
+                    [
+                        (
+                            st.metric, st.count, _ms(st.p50), _ms(st.p90),
+                            _ms(st.p99), _ms(st.p999), _ms(st.jitter_iqr),
+                            _ms(st.jitter_range),
+                            f"{st.misses}/{st.count}" if st.deadline_s is not None else "-",
+                        )
+                        for st in sorted(self.stats.values(), key=lambda s: s.metric)
+                    ],
+                    title="latency distributions (from merged event stream)",
+                )
+            )
+        if self.verdicts:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["metric", "stat", "budget", "measured", "verdict"],
+                    [
+                        (
+                            v.metric,
+                            v.stat,
+                            f"{v.limit:.4f}" if v.stat == "miss_frac" else f"{_ms(v.limit)} ms",
+                            "-" if v.measured is None else (
+                                f"{v.measured:.4f}" if v.stat == "miss_frac"
+                                else f"{_ms(v.measured)} ms"
+                            ),
+                            v.status.upper() if v.status != "ok" else "ok",
+                        )
+                        for v in self.verdicts
+                    ],
+                    title="SLO budgets",
+                )
+            )
+            lines.append("")
+            if self.violations:
+                worst = max(
+                    self.violations,
+                    key=lambda v: (v.measured / v.limit) if v.limit else float("inf"),
+                )
+                over = (
+                    f"{worst.measured / worst.limit:.2f}x over budget"
+                    if worst.limit
+                    else "budget is zero"
+                )
+                lines.append(
+                    f"SLO VIOLATED: {len(self.violations)} budget(s) missed; "
+                    f"worst {worst.metric}.{worst.stat} at {over}"
+                )
+            elif self.missing:
+                names = ", ".join(f"{v.metric}.{v.stat}" for v in self.missing)
+                lines.append(f"SLO INCONCLUSIVE: no samples for {names}")
+            else:
+                lines.append(f"SLO OK: all {len(self.verdicts)} budget(s) met")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """Ledger-meta shape: stats + verdicts + the one-word verdict."""
+        return {
+            "verdict": self.verdict,
+            "stats": {k: v.as_dict() for k, v in sorted(self.stats.items())},
+            "verdicts": [v.as_dict() for v in self.verdicts],
+        }
+
+
+def evaluate(
+    latencies: dict[str, list[float]], budgets: list[SLOBudget]
+) -> SLOReport:
+    """Judge extracted latency samples against parsed budgets.
+
+    Every metric with samples is summarised (budgeted or not — the stats
+    table is the observability payload); every budget gets a verdict, with
+    ``no-data`` for metrics the stream never produced, which fails the
+    gate with :data:`EXIT_NO_DATA` rather than silently passing a scenario
+    that skipped its workload.
+    """
+    deadlines: dict[str, float] = {
+        b.metric: b.deadline_s for b in budgets if b.deadline_s is not None
+    }
+    stats: dict[str, LatencyStats] = {
+        metric: LatencyStats.from_samples(metric, samples, deadlines.get(metric))
+        for metric, samples in latencies.items()
+        if samples
+    }
+    verdicts: list[SLOVerdict] = []
+    for b in budgets:
+        st = stats.get(b.metric)
+        if st is None:
+            verdicts.append(SLOVerdict(b.metric, b.stat, b.limit, None, "no-data"))
+            continue
+        measured = st.value(b.stat)
+        verdicts.append(
+            SLOVerdict(
+                b.metric, b.stat, b.limit, measured,
+                "ok" if measured <= b.limit else "violated",
+            )
+        )
+    return SLOReport(stats=stats, verdicts=verdicts)
+
+
+def slo_from_events(events: list[dict], budgets) -> SLOReport:
+    """One-call gate: extract, parse (if needed), evaluate."""
+    if budgets and not isinstance(budgets[0], SLOBudget):
+        budgets = parse_budgets(budgets)
+    return evaluate(extract_latencies(events), list(budgets))

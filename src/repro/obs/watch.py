@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+from pathlib import Path
 from typing import Callable
 
 from . import metrics as _metrics
@@ -33,6 +34,7 @@ __all__ = [
     "DEFAULT_POLL_INTERVAL",
     "resolve_stall_after",
     "heartbeats_from_events",
+    "empty_stream_hint",
     "Watchdog",
     "render_status",
 ]
@@ -205,6 +207,38 @@ def _fmt_age(seconds: float) -> str:
     return f"{seconds / 60.0:.1f} min"
 
 
+def empty_stream_hint(dir_path=None) -> str:
+    """Actionable diagnosis for a stream with no readable events.
+
+    Names the expected on-disk layout (``events-<pid>.jsonl`` shards
+    inside the directory ``REPRO_EVENTS`` points at) and distinguishes a
+    missing directory from a present-but-eventless one, so "I pointed at
+    the wrong path" and "the run emitted nothing" read differently.
+    ``repro-bench watch --once`` and ``repro-bench slo`` pair this hint
+    with a distinct exit code (:data:`repro.obs.slo.EXIT_EMPTY_STREAM`).
+    """
+    lines = ["event stream is empty: no events could be read."]
+    if dir_path is not None:
+        d = Path(dir_path)
+        if not d.is_dir():
+            lines.append(f"  {d} is not a directory.")
+        else:
+            shards = sorted(d.glob("events-*.jsonl"))
+            if shards:
+                lines.append(
+                    f"  {d} has {len(shards)} shard(s) but none held a "
+                    "parseable event line."
+                )
+            else:
+                lines.append(f"  {d} exists but holds no events-*.jsonl shards.")
+    lines.append(
+        "  expected layout: <dir>/events-<pid>.jsonl, one JSONL shard per "
+        "process, produced by running under REPRO_EVENTS=<dir> (or "
+        "repro-bench ... --events <dir>)."
+    )
+    return "\n".join(lines)
+
+
 def render_status(
     events: list[dict],
     now_ns: int | None = None,
@@ -219,7 +253,7 @@ def render_status(
     """
     stall_after = resolve_stall_after(stall_after)
     if not events:
-        return "event stream is empty (is REPRO_EVENTS pointing at a run?)"
+        return empty_stream_hint()
     now = now_ns if now_ns is not None else max(e["ts_ns"] for e in events)
     t0 = min(e["ts_ns"] for e in events)
     lines: list[str] = []

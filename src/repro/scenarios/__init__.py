@@ -1,0 +1,39 @@
+"""Deadline-driven scenario harness (ROADMAP item 5).
+
+Declarative scenario configs (:mod:`repro.scenarios.config`), a builtin
+library spanning the adversarial graph families
+(:mod:`repro.scenarios.library`), and the matrix runner that executes
+them through the real engine/hetero runners and judges the resulting
+latency distributions against declared SLO budgets
+(:mod:`repro.scenarios.runner` + :mod:`repro.obs.slo`).
+"""
+
+from .config import (
+    ALGORITHMS,
+    GRAPH_FAMILIES,
+    GraphSpec,
+    QueryLoad,
+    ScenarioConfig,
+    ScenarioError,
+    load_config,
+)
+from .library import BUILTIN_SPECS, builtin_scenarios, get_scenario, scenario_names
+from .runner import ScenarioResult, render_matrix, run_matrix, run_scenario
+
+__all__ = [
+    "ALGORITHMS",
+    "GRAPH_FAMILIES",
+    "GraphSpec",
+    "QueryLoad",
+    "ScenarioConfig",
+    "ScenarioError",
+    "load_config",
+    "BUILTIN_SPECS",
+    "builtin_scenarios",
+    "get_scenario",
+    "scenario_names",
+    "ScenarioResult",
+    "render_matrix",
+    "run_matrix",
+    "run_scenario",
+]

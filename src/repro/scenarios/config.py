@@ -1,0 +1,331 @@
+"""Declarative scenario configs: graph × algorithm × mix × faults × load.
+
+A scenario is one named, fully reproducible workload description.  The
+five axes mirror the heterogeneous story of the paper and the fault
+matrix of :mod:`repro.qa`:
+
+* **graph family** — one of the :mod:`repro.qa.strategies` adversarial
+  families (plus ``grid``/``gnm`` generators and named Table-1
+  ``dataset`` stand-ins), with generator args and a seed;
+* **algorithm** — ``apsp`` / ``mcb`` pipeline drivers or the bare
+  ``sssp`` bulk engine;
+* **worker/device mix** — ``workers: 0`` runs serial, ``>= 2`` engages
+  the process-parallel backend (sssp only; the pipelines drive their own
+  chunking);
+* **fault profile** — a ``REPRO_FAULTS`` spec string
+  (:mod:`repro.qa.faultinject`), so fault injection gets a latency-impact
+  story;
+* **query load** — point-to-point queries against the reduced distance
+  oracle, timed per query (the ROADMAP item-1 serving benchmark).
+
+Configs load from JSON always and TOML where :mod:`tomllib` exists
+(Python ≥ 3.11); validation is eager and names the offending key, so a
+typo fails at load time with a message, never mid-matrix.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..obs.slo import SLOBudget, parse_budgets
+
+__all__ = [
+    "ScenarioError",
+    "GRAPH_FAMILIES",
+    "ALGORITHMS",
+    "GraphSpec",
+    "QueryLoad",
+    "ScenarioConfig",
+    "load_config",
+]
+
+#: Query-count hard cap: per-query events must stay far inside the event
+#: stream's per-shard backstop (``MAX_EVENTS_PER_SHARD``).
+MAX_QUERIES = 50_000
+
+ALGORITHMS = ("apsp", "mcb", "sssp")
+
+
+class ScenarioError(ValueError):
+    """A scenario config that cannot be interpreted."""
+
+
+def _families() -> dict:
+    """Graph-family name → generator (lazy to keep import cost off the CLI)."""
+    from ..graph.generators import gnm_random_graph, grid_graph
+    from ..qa import strategies as qs
+
+    return {
+        "theta": qs.theta_graph,
+        "cactus": qs.cactus_graph,
+        "bridge_heavy": qs.bridge_heavy_graph,
+        "hairball": qs.parallel_hairball,
+        "disconnected": qs.disconnected_graph,
+        "star_of_cycles": qs.star_of_cycles,
+        "grid": grid_graph,
+        "gnm": gnm_random_graph,
+    }
+
+
+#: The loadable family names (``dataset`` additionally names Table-1
+#: stand-ins by their dataset name).
+GRAPH_FAMILIES = (
+    "theta", "cactus", "bridge_heavy", "hairball", "disconnected",
+    "star_of_cycles", "grid", "gnm", "dataset",
+)
+
+_REWEIGHT_MODES = ("ties", "few", "near-zero")
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """One reproducible graph: family + generator args + optional reweight."""
+
+    family: str
+    args: dict = field(default_factory=dict)
+    seed: int = 0
+    reweight: str | None = None
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "GraphSpec":
+        if not isinstance(doc, dict):
+            raise ScenarioError(f"graph spec must be an object, got {doc!r}")
+        unknown = set(doc) - {"family", "args", "seed", "reweight"}
+        if unknown:
+            raise ScenarioError(
+                f"graph spec: unknown key(s) {sorted(unknown)}; "
+                "accepted: family, args, seed, reweight"
+            )
+        family = doc.get("family")
+        if family not in GRAPH_FAMILIES:
+            raise ScenarioError(
+                f"graph family {family!r} unknown; one of {GRAPH_FAMILIES}"
+            )
+        args = doc.get("args") or {}
+        if not isinstance(args, dict):
+            raise ScenarioError("graph args must be an object")
+        reweight = doc.get("reweight")
+        if reweight is not None and reweight not in _REWEIGHT_MODES:
+            raise ScenarioError(
+                f"reweight {reweight!r} unknown; one of {_REWEIGHT_MODES}"
+            )
+        return cls(
+            family=family,
+            args=dict(args),
+            seed=int(doc.get("seed", 0)),
+            reweight=reweight,
+        )
+
+    def build(self):
+        """Generate the graph (deterministic in the spec)."""
+        from ..qa.strategies import reweighted
+
+        if self.family == "dataset":
+            from .. import datasets
+
+            name = self.args.get("name")
+            if not name:
+                raise ScenarioError("dataset graph spec needs args.name")
+            g = datasets.load(name, self.args.get("scale"))
+        else:
+            gen = _families()[self.family]
+            kwargs = dict(self.args)
+            if self.family not in ("grid",):  # grid_graph takes no seed
+                kwargs.setdefault("seed", self.seed)
+            try:
+                g = gen(**kwargs)
+            except TypeError as exc:
+                raise ScenarioError(
+                    f"graph family {self.family!r} rejected args {kwargs}: {exc}"
+                ) from exc
+        if self.reweight:
+            g = reweighted(g, self.reweight, seed=self.seed)
+        return g
+
+    def describe(self) -> str:
+        bits = [self.family]
+        if self.args:
+            bits.append(",".join(f"{k}={v}" for k, v in sorted(self.args.items())))
+        if self.reweight:
+            bits.append(self.reweight)
+        return ":".join(bits)
+
+
+@dataclass(frozen=True)
+class QueryLoad:
+    """Point-to-point oracle queries: ``count`` singles + optional batches."""
+
+    count: int = 0
+    batch: int = 0       # 0 = no batched query_many passes
+    batches: int = 0     # how many query_many calls of size ``batch``
+    seed: int = 0
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "QueryLoad":
+        if not isinstance(doc, dict):
+            raise ScenarioError(f"queries spec must be an object, got {doc!r}")
+        unknown = set(doc) - {"count", "batch", "batches", "seed"}
+        if unknown:
+            raise ScenarioError(
+                f"queries spec: unknown key(s) {sorted(unknown)}; "
+                "accepted: count, batch, batches, seed"
+            )
+        count = int(doc.get("count", 0))
+        batch = int(doc.get("batch", 0))
+        batches = int(doc.get("batches", 0))
+        if count < 0 or batch < 0 or batches < 0:
+            raise ScenarioError("queries: count/batch/batches must be >= 0")
+        if count + batch * batches > MAX_QUERIES:
+            raise ScenarioError(
+                f"queries: total load {count + batch * batches} exceeds "
+                f"the {MAX_QUERIES} cap (event-stream backstop)"
+            )
+        return cls(count=count, batch=batch, batches=batches, seed=int(doc.get("seed", 0)))
+
+
+_SCENARIO_KEYS = {
+    "name", "description", "graph", "algorithm", "workers", "chunk_size",
+    "faults", "queries", "slo", "repeats",
+}
+
+#: Fault sites ``repro.qa.faultinject.fire`` actually honours.  Kept here
+#: (not in faultinject) because the env-var path deliberately ignores
+#: unknown tokens, while declarative configs reject them at load time.
+KNOWN_FAULT_SITES = ("worker.crash", "worker.hang", "shm.oom")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One validated scenario; the unit the matrix runner executes."""
+
+    name: str
+    graph: GraphSpec
+    algorithm: str = "apsp"
+    workers: int = 0
+    chunk_size: int | None = None
+    faults: str | None = None
+    queries: QueryLoad | None = None
+    slo: tuple[SLOBudget, ...] = ()
+    repeats: int = 1
+    description: str = ""
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ScenarioConfig":
+        if not isinstance(doc, dict):
+            raise ScenarioError(f"scenario must be an object, got {doc!r}")
+        unknown = set(doc) - _SCENARIO_KEYS
+        if unknown:
+            raise ScenarioError(
+                f"scenario: unknown key(s) {sorted(unknown)}; "
+                f"accepted: {sorted(_SCENARIO_KEYS)}"
+            )
+        name = doc.get("name")
+        if not isinstance(name, str) or not name:
+            raise ScenarioError("scenario missing 'name'")
+        if "graph" not in doc:
+            raise ScenarioError(f"scenario {name!r} missing 'graph'")
+        algorithm = doc.get("algorithm", "apsp")
+        if algorithm not in ALGORITHMS:
+            raise ScenarioError(
+                f"scenario {name!r}: algorithm {algorithm!r} unknown; "
+                f"one of {ALGORITHMS}"
+            )
+        workers = int(doc.get("workers", 0))
+        if workers < 0:
+            raise ScenarioError(f"scenario {name!r}: workers must be >= 0")
+        if workers and algorithm != "sssp":
+            raise ScenarioError(
+                f"scenario {name!r}: workers require algorithm 'sssp' "
+                "(the pipelines drive their own chunking)"
+            )
+        faults = doc.get("faults") or None
+        if faults is not None:
+            from ..qa.faultinject import parse_spec
+
+            if not isinstance(faults, str) or not parse_spec(faults):
+                raise ScenarioError(
+                    f"scenario {name!r}: faults must be a REPRO_FAULTS spec "
+                    "string like 'worker.crash:8' or 'worker.hang:0.5'"
+                )
+            # parse_spec itself accepts any site token (the env var is a
+            # free-form escape hatch); configs are validated strictly so a
+            # typo'd site fails at load instead of silently never firing.
+            for site, _arg in parse_spec(faults):
+                if site not in KNOWN_FAULT_SITES:
+                    raise ScenarioError(
+                        f"scenario {name!r}: unknown fault site {site!r} in "
+                        f"REPRO_FAULTS spec; known sites: "
+                        f"{', '.join(KNOWN_FAULT_SITES)}"
+                    )
+        repeats = int(doc.get("repeats", 1))
+        if repeats < 1:
+            raise ScenarioError(f"scenario {name!r}: repeats must be >= 1")
+        try:
+            slo = tuple(parse_budgets(doc.get("slo") or []))
+        except ValueError as exc:
+            raise ScenarioError(f"scenario {name!r}: {exc}") from exc
+        return cls(
+            name=name,
+            graph=GraphSpec.from_dict(doc["graph"]),
+            algorithm=algorithm,
+            workers=workers,
+            chunk_size=(
+                int(doc["chunk_size"]) if doc.get("chunk_size") is not None else None
+            ),
+            faults=faults,
+            queries=(
+                QueryLoad.from_dict(doc["queries"]) if doc.get("queries") else None
+            ),
+            slo=slo,
+            repeats=repeats,
+            description=str(doc.get("description", "")),
+        )
+
+
+def load_config(path) -> list[ScenarioConfig]:
+    """Load one config file into a scenario list (the matrix).
+
+    Accepts a single scenario object, a bare list, or a
+    ``{"scenarios": [...]}`` document.  ``.toml`` files parse via
+    :mod:`tomllib` where available (Python ≥ 3.11) and raise a clear
+    :class:`ScenarioError` elsewhere; everything else parses as JSON.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario config {path}: {exc}") from exc
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:  # pragma: no cover - py3.10 only
+            raise ScenarioError(
+                "TOML scenario configs need Python >= 3.11 (tomllib); "
+                "use the JSON form on this interpreter"
+            ) from exc
+        try:
+            doc = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"{path}: invalid TOML: {exc}") from exc
+    else:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"{path}: invalid JSON: {exc}") from exc
+    if isinstance(doc, dict) and "scenarios" in doc:
+        doc = doc["scenarios"]
+    if isinstance(doc, dict):
+        doc = [doc]
+    if not isinstance(doc, list) or not doc:
+        raise ScenarioError(
+            f"{path}: expected a scenario object, a list, or "
+            "{'scenarios': [...]} with at least one entry"
+        )
+    out = [ScenarioConfig.from_dict(entry) for entry in doc]
+    names = [c.name for c in out]
+    dupes = {n for n in names if names.count(n) > 1}
+    if dupes:
+        raise ScenarioError(f"{path}: duplicate scenario name(s) {sorted(dupes)}")
+    return out

@@ -1,0 +1,125 @@
+"""Built-in scenario library spanning the ``qa.strategies`` families.
+
+These are the named workloads ``repro-bench scenarios`` runs without a
+config file: one clean pipeline per family archetype, a fault-injected
+parallel dispatch, and a deadline-driven query-serving scenario.  Budgets
+are deliberately generous (seconds-scale on millisecond workloads) — the
+library's job is to exercise the harness end to end on any host; tight
+budgets belong in purpose-written configs (see ``examples/``).
+
+Every scenario here is a plain dict run through the same
+:class:`~repro.scenarios.config.ScenarioConfig` validation as user
+configs, so the library doubles as a living schema example.
+"""
+
+from __future__ import annotations
+
+from .config import ScenarioConfig, ScenarioError
+
+__all__ = ["BUILTIN_SPECS", "builtin_scenarios", "get_scenario", "scenario_names"]
+
+#: Generous default budgets for library scenarios: wide enough that a
+#: loaded CI host passes, present so the SLO plumbing always exercises.
+_WIDE_PHASE = [
+    {"metric": "phase.apsp.process", "p99_s": 60.0},
+]
+_WIDE_QUERY = [
+    {"metric": "query", "p99_ms": 250.0, "jitter_iqr_ms": 250.0},
+]
+
+BUILTIN_SPECS: tuple[dict, ...] = (
+    {
+        "name": "clean-theta-apsp",
+        "description": "chain-heavy theta graph through the full APSP "
+                       "pipeline with a per-query serving load",
+        "graph": {"family": "theta", "args": {"n_chains": 4, "chain_len": 14}},
+        "algorithm": "apsp",
+        "queries": {"count": 300, "batch": 64, "batches": 4, "seed": 1},
+        "slo": _WIDE_PHASE + _WIDE_QUERY,
+    },
+    {
+        "name": "cactus-mcb",
+        "description": "cactus graph (one BCC per cycle) through the MCB "
+                       "pipeline",
+        "graph": {"family": "cactus", "args": {"n_cycles": 5, "cycle_len": 5}},
+        "algorithm": "mcb",
+        "slo": [{"metric": "phase.mcb.process", "p99_s": 60.0}],
+    },
+    {
+        "name": "bridge-sssp-serial",
+        "description": "bridge-heavy graph through the chunked bulk-SSSP "
+                       "engine, serial",
+        "graph": {"family": "bridge_heavy", "args": {"n_blocks": 5, "block_size": 5}},
+        "algorithm": "sssp",
+        "chunk_size": 8,
+        "slo": [{"metric": "chunk", "p99_s": 30.0, "jitter_range_s": 30.0}],
+    },
+    {
+        "name": "hairball-apsp",
+        "description": "random multigraph (parallel edges, self-loops) "
+                       "through APSP",
+        "graph": {"family": "hairball", "args": {"n": 10, "m": 28}},
+        "algorithm": "apsp",
+        "queries": {"count": 150, "seed": 3},
+        "slo": _WIDE_PHASE + _WIDE_QUERY,
+    },
+    {
+        "name": "disconnected-apsp",
+        "description": "disconnected parts + isolated vertices (infinite "
+                       "distances on the query path)",
+        "graph": {"family": "disconnected",
+                  "args": {"n_parts": 3, "part_size": 6, "isolated": 2}},
+        "algorithm": "apsp",
+        "queries": {"count": 150, "seed": 4},
+        "slo": _WIDE_QUERY,
+    },
+    {
+        "name": "star-of-cycles-mcb-ties",
+        "description": "tie-heavy star-of-cycles through MCB (equal-weight "
+                       "cycle tie-breaking under timing)",
+        "graph": {"family": "star_of_cycles", "args": {"arms": 4, "cycle_len": 5},
+                  "reweight": "ties"},
+        "algorithm": "mcb",
+        "slo": [{"metric": "phase.mcb.process", "p99_s": 60.0}],
+    },
+    {
+        "name": "fault-crash-parallel",
+        "description": "parallel bulk-SSSP with injected worker crashes: "
+                       "measures the latency cost of lossless degradation",
+        "graph": {"family": "grid", "args": {"rows": 8, "cols": 8}},
+        "algorithm": "sssp",
+        "workers": 2,
+        "faults": "worker.crash:8",
+        "slo": [{"metric": "dispatch", "p99_s": 120.0}],
+    },
+    {
+        "name": "tight-deadline-query",
+        "description": "deadline-driven oracle serving: every query carries "
+                       "a per-sample deadline and a miss-fraction budget",
+        "graph": {"family": "theta", "args": {"n_chains": 3, "chain_len": 20}},
+        "algorithm": "apsp",
+        "queries": {"count": 500, "seed": 5},
+        "slo": [
+            {"metric": "query", "p99_ms": 250.0, "deadline_ms": 400.0,
+             "miss_frac": 0.05},
+        ],
+    },
+)
+
+
+def builtin_scenarios() -> list[ScenarioConfig]:
+    """Every library scenario, validated (the library can never drift)."""
+    return [ScenarioConfig.from_dict(dict(spec)) for spec in BUILTIN_SPECS]
+
+
+def scenario_names() -> list[str]:
+    return [str(spec["name"]) for spec in BUILTIN_SPECS]
+
+
+def get_scenario(name: str) -> ScenarioConfig:
+    for spec in BUILTIN_SPECS:
+        if spec["name"] == name:
+            return ScenarioConfig.from_dict(dict(spec))
+    raise ScenarioError(
+        f"unknown builtin scenario {name!r}; known: {', '.join(scenario_names())}"
+    )

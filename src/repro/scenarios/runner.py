@@ -1,0 +1,250 @@
+"""Scenario-matrix runner: execute configs, gate SLOs, feed the ledger.
+
+One scenario run is: build the graph → arm the structured event stream →
+(optionally) arm fault injection → drive the configured algorithm through
+the existing engine/hetero runners → replay a query load against the
+reduced distance oracle → read the merged stream back → extract latency
+distributions → judge them against the scenario's budgets.
+
+Everything downstream of the run is plumbing the rest of ``repro.obs``
+already provides: the per-scenario :class:`~repro.obs.ledger.RunRecord`
+carries the SLO verdict (``meta.scenario`` / ``meta.slo_verdict`` — the
+longitudinal filter keys), the tail percentiles land in the record's
+``phases`` so :mod:`repro.obs.regress` gates p99 drift exactly like
+median drift, and the events/ledger pair is what ``repro-bench report``
+renders into the SLO panel.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..obs import events as _events
+from ..obs import metrics as _metrics
+from ..obs.events import EventLog, events_to
+from ..obs.slo import LatencyStats, SLOReport, evaluate, extract_latencies
+from .config import ScenarioConfig
+
+__all__ = ["ScenarioResult", "run_scenario", "run_matrix", "render_matrix"]
+
+_C_RUNS = _metrics.counter("scenario.runs")
+_C_VIOLATIONS = _metrics.counter("scenario.violations")
+_C_QUERIES = _metrics.counter("scenario.queries")
+
+#: Tail statistics recorded as ledger phases per budgeted metric — the
+#: names carry the ``.p99``/``.p999`` markers the regression gate treats
+#: as tail-latency phases.
+_LEDGER_STATS = ("p50", "p99", "p999")
+
+
+@dataclass
+class ScenarioResult:
+    """One executed scenario: measurements + verdicts + provenance."""
+
+    config: ScenarioConfig
+    seconds: float
+    stats: dict[str, LatencyStats]
+    slo: SLOReport
+    events_dir: str
+    n_events: int
+    record: "object | None" = None  # RunRecord when a ledger was given
+
+    @property
+    def ok(self) -> bool:
+        return self.slo.ok
+
+    @property
+    def verdict(self) -> str:
+        return self.slo.verdict
+
+
+def _run_queries(g, load, rng) -> None:
+    """Serve the query load against the reduced oracle, one event per query.
+
+    Singles are timed individually (``query.finish``: the honest per-query
+    latency distribution, jitter included); batches go through the
+    vectorized ``query_many`` (``query_batch.finish``: the bulk-serving
+    figure ROADMAP item 1 tracks).
+    """
+    from ..apsp.reduced_oracle import ReducedDistanceOracle
+
+    oracle = ReducedDistanceOracle(g)
+    n = g.n
+    if n == 0:
+        return
+    for u, v in rng.integers(0, n, size=(load.count, 2)):
+        t0 = time.perf_counter_ns()
+        oracle.query(int(u), int(v))
+        _events.emit("query.finish", dur_ns=time.perf_counter_ns() - t0)
+    _C_QUERIES.inc(load.count)
+    for _ in range(load.batches):
+        pairs = rng.integers(0, n, size=(load.batch, 2), dtype=np.int64)
+        t0 = time.perf_counter_ns()
+        oracle.query_many(pairs)
+        _events.emit(
+            "query_batch.finish",
+            dur_ns=time.perf_counter_ns() - t0,
+            pairs=int(load.batch),
+        )
+        _C_QUERIES.inc(load.batch)
+
+
+def _run_algorithm(cfg: ScenarioConfig, g) -> None:
+    if cfg.algorithm == "apsp":
+        from ..hetero.apsp_runner import apsp_with_trace
+
+        apsp_with_trace(g, chunk_size=cfg.chunk_size)
+    elif cfg.algorithm == "mcb":
+        from ..hetero.mcb_runner import mcb_with_trace
+
+        mcb_with_trace(g)
+    else:  # sssp
+        sources = np.arange(g.n, dtype=np.int64)
+        if cfg.workers >= 2:
+            from ..hetero.parallel import ParallelEngine
+
+            with ParallelEngine(
+                g, workers=cfg.workers, chunk_size=cfg.chunk_size
+            ) as eng:
+                eng.multi_source(sources)
+        else:
+            from ..sssp.engine import multi_source
+
+            if g.n:
+                multi_source(g, sources, chunk_size=cfg.chunk_size)
+
+
+def run_scenario(
+    cfg: ScenarioConfig,
+    events_dir: str | Path,
+    ledger=None,
+) -> ScenarioResult:
+    """Execute one scenario and judge its SLOs.
+
+    ``events_dir`` receives this scenario's per-pid JSONL shards (one
+    directory per scenario — the matrix runner namespaces them).  With a
+    :class:`~repro.obs.ledger.Ledger`, a ``kind="scenario"`` record is
+    appended whose meta carries ``scenario`` / ``slo_verdict`` and whose
+    phases include the tail percentiles for the regression gate.
+    """
+    from ..qa.faultinject import inject
+
+    _C_RUNS.inc()
+    g = cfg.graph.build()
+    rng = np.random.default_rng(cfg.queries.seed if cfg.queries else 0)
+    events_dir = str(events_dir)
+    t0 = time.perf_counter()
+    with events_to(events_dir) as sink:
+        fault_ctx = inject(cfg.faults) if cfg.faults else None
+        try:
+            if fault_ctx is not None:
+                fault_ctx.__enter__()
+            for _ in range(cfg.repeats):
+                with _events.emitting(
+                    "scenario", scenario=cfg.name, algorithm=cfg.algorithm
+                ):
+                    _run_algorithm(cfg, g)
+        finally:
+            if fault_ctx is not None:
+                fault_ctx.__exit__(None, None, None)
+        # The query load runs outside the fault window: it measures
+        # serving latency of the surviving oracle, not the fault itself.
+        if cfg.queries is not None and (cfg.queries.count or cfg.queries.batches):
+            _run_queries(g, cfg.queries, rng)
+    seconds = time.perf_counter() - t0
+
+    log = EventLog(sink.dir)
+    events = log.read()
+    latencies = extract_latencies(events)
+    report = evaluate(latencies, list(cfg.slo))
+    if not report.ok:
+        _C_VIOLATIONS.inc()
+
+    record = None
+    if ledger is not None:
+        from ..obs.ledger import RunRecord
+
+        phases = {f"scenario.{cfg.name}.wall": seconds}
+        for metric, st in report.stats.items():
+            for stat in _LEDGER_STATS:
+                phases[f"scenario.{cfg.name}.{metric}.{stat}"] = st.value(stat)
+        record = ledger.append(
+            RunRecord.new(
+                kind="scenario",
+                phases=phases,
+                counters={
+                    "scenario.events": len(events),
+                    "scenario.event_lines_skipped": log.skipped,
+                },
+                meta={
+                    "scenario": cfg.name,
+                    "slo_verdict": report.verdict,
+                    "slo": report.as_dict(),
+                    "algorithm": cfg.algorithm,
+                    "graph": cfg.graph.describe(),
+                    "workers": cfg.workers,
+                    "faults": cfg.faults,
+                    "repeats": cfg.repeats,
+                    "events_dir": str(Path(events_dir).resolve()),
+                },
+            )
+        )
+    return ScenarioResult(
+        config=cfg,
+        seconds=seconds,
+        stats=report.stats,
+        slo=report,
+        events_dir=events_dir,
+        n_events=len(events),
+        record=record,
+    )
+
+
+def run_matrix(
+    configs: list[ScenarioConfig],
+    events_root: str | Path,
+    ledger=None,
+) -> list[ScenarioResult]:
+    """Run every scenario, each into its own event directory.
+
+    Scenarios are independent by construction (fresh graph, fresh event
+    dir, env-scoped faults), so a violated budget never stops the matrix —
+    the caller inspects the results and exits once, with every verdict on
+    the table.
+    """
+    root = Path(events_root)
+    results = []
+    for cfg in configs:
+        results.append(run_scenario(cfg, root / cfg.name, ledger=ledger))
+    return results
+
+
+def render_matrix(results: list[ScenarioResult]) -> str:
+    """Terminal summary table: one row per scenario, verdicts last."""
+    from ..bench.reporting import format_table
+
+    rows = []
+    for r in results:
+        q = r.stats.get("query")
+        rows.append(
+            (
+                r.config.name,
+                r.config.algorithm,
+                r.config.graph.describe()[:28],
+                r.config.faults or "-",
+                f"{r.seconds:.3f}",
+                f"{q.p99 * 1e3:.3f}" if q is not None else "-",
+                r.n_events,
+                r.verdict.upper() if r.verdict != "ok" else "ok",
+            )
+        )
+    return format_table(
+        ["scenario", "algo", "graph", "faults", "wall (s)", "query p99 ms",
+         "events", "slo"],
+        rows,
+        title=f"scenario matrix — {len(results)} scenario(s)",
+    )

@@ -1,0 +1,367 @@
+"""repro.obs.slo: percentile fidelity, budget parsing, exit-coded verdicts.
+
+The agreement tests pin the contract that :func:`repro.obs.slo.percentile`
+and :meth:`repro.obs.metrics.Histogram.percentile` share one rank
+arithmetic — SLO verdicts and histogram snapshots must never disagree on
+identical data.  The merge tests feed multi-pid shard layouts through the
+tolerant reader and assert percentile monotonicity and torn-line
+tolerance, the properties the CI gate leans on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import metrics as _metrics
+from repro.obs.events import EventLog, EventSink
+from repro.obs.slo import (
+    EXIT_EMPTY_STREAM,
+    EXIT_NO_DATA,
+    EXIT_OK,
+    EXIT_VIOLATED,
+    LatencyStats,
+    SLOBudget,
+    evaluate,
+    extract_latencies,
+    parse_budgets,
+    percentile,
+    slo_from_events,
+)
+
+
+class TestPercentile:
+    def test_single_sample_answers_everything(self):
+        assert percentile([4.2], 0) == 4.2
+        assert percentile([4.2], 50) == 4.2
+        assert percentile([4.2], 99.9) == 4.2
+
+    def test_interpolates(self):
+        assert percentile([0.0, 1.0], 50) == pytest.approx(0.5)
+        assert percentile([0.0, 1.0, 2.0, 3.0], 75) == pytest.approx(2.25)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_agrees_with_histogram_exactly_under_cap(self, rng):
+        """Below the retention cap both sides see every sample: bit-equal."""
+        samples = [float(x) for x in rng.random(997)]
+        h = _metrics.Histogram("agree")
+        for s in samples:
+            h.observe(s)
+        for p in (0.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0):
+            assert percentile(samples, p) == h.percentile(p)
+
+    def test_agrees_with_histogram_within_one_sample_over_cap(self, rng):
+        """Over the cap the histogram holds a uniform reservoir: its
+        percentile must land within one *order-statistic step* of the
+        exact answer's neighbourhood — we assert the reservoir estimate
+        falls between the exact sample just below p-1 and just above p+1.
+        """
+        n = _metrics.Histogram.RETAIN_CAP + 500
+        samples = [float(x) for x in rng.random(n)]
+        h = _metrics.Histogram("agree-cap")
+        for s in samples:
+            h.observe(s)
+        for p in (50.0, 90.0, 99.0):
+            lo = percentile(samples, max(p - 1.0, 0.0))
+            hi = percentile(samples, min(p + 1.0, 100.0))
+            assert lo <= h.percentile(p) <= hi
+
+
+class TestHistogramReservoir:
+    def test_length_capped_and_aggregates_exact(self):
+        h = _metrics.Histogram("cap")
+        n = h.RETAIN_CAP + 500
+        for i in range(n):
+            h.observe(float(i))
+        assert len(h.samples) == h.RETAIN_CAP
+        assert h.count == n
+        assert h.sum == pytest.approx(sum(range(n)))
+        assert h.min == 0.0 and h.max == float(n - 1)
+
+    def test_reservoir_sees_the_tail(self):
+        """Post-cap observations must be able to enter the retained set —
+        the pre-reservoir behaviour (frozen prefix) kept none of them."""
+        h = _metrics.Histogram("tail")
+        for i in range(h.RETAIN_CAP):
+            h.observe(0.0)
+        for _ in range(h.RETAIN_CAP):
+            h.observe(1.0)
+        assert any(s == 1.0 for s in h.samples)
+
+    def test_deterministic_under_repro_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "1234")
+
+        def run():
+            h = _metrics.Histogram("det")
+            for i in range(h.RETAIN_CAP + 1000):
+                h.observe(float(i))
+            return list(h.samples)
+
+        assert run() == run()
+
+    def test_seed_and_name_change_the_reservoir(self, monkeypatch):
+        def run(name):
+            h = _metrics.Histogram(name)
+            for i in range(h.RETAIN_CAP + 1000):
+                h.observe(float(i))
+            return list(h.samples)
+
+        monkeypatch.setenv("REPRO_SEED", "1")
+        a = run("x")
+        b = run("y")
+        monkeypatch.setenv("REPRO_SEED", "2")
+        c = run("x")
+        assert a != b and a != c
+
+    def test_registry_reset_rearms_reservoir(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "77")
+        reg = _metrics.MetricsRegistry()
+        h = reg.histogram("reset-me")
+
+        def fill():
+            for i in range(h.RETAIN_CAP + 200):
+                h.observe(float(i))
+            return list(h.samples)
+
+        first = fill()
+        reg.reset()
+        assert h.count == 0 and not h.samples
+        assert fill() == first  # same seed ⇒ same reservoir after reset
+
+    def test_max_samples_alias(self):
+        assert _metrics.Histogram.MAX_SAMPLES == _metrics.Histogram.RETAIN_CAP
+
+
+def _emit_events(tmp_path, per_pid: dict[int, list[float]], kind="query"):
+    """Write one shard per fake pid with ``<kind>.finish`` durations (s)."""
+    for pid, durs in per_pid.items():
+        sink = EventSink(tmp_path)
+        with open(tmp_path / f"events-{pid}.jsonl", "a") as fh:
+            for i, dur in enumerate(durs):
+                fh.write(
+                    json.dumps(
+                        {
+                            "v": 1, "seq": i, "ts_ns": i * 1000, "pid": pid,
+                            "kind": f"{kind}.finish", "dur_ns": int(dur * 1e9),
+                        }
+                    )
+                    + "\n"
+                )
+    del sink
+    return EventLog(tmp_path)
+
+
+class TestExtractLatencies:
+    def test_phase_finish_keyed_by_cat_and_phase(self, tmp_path):
+        with open(tmp_path / "events-1.jsonl", "w") as fh:
+            fh.write(json.dumps({
+                "v": 1, "seq": 0, "ts_ns": 0, "pid": 1, "kind": "phase.finish",
+                "cat": "apsp", "phase": "process", "dur_ns": 5_000_000,
+            }) + "\n")
+        lat = extract_latencies(EventLog(tmp_path).read())
+        assert lat == {"phase.apsp.process": [0.005]}
+
+    def test_chunk_pairs_matched_per_pid(self, tmp_path):
+        # Interleave two pids: pairing must never cross processes.
+        rows = [
+            (1, "chunk.start", 0), (2, "chunk.start", 10),
+            (1, "chunk.finish", 100), (2, "chunk.finish", 250),
+        ]
+        with open(tmp_path / "events-1.jsonl", "w") as fh:
+            for i, (pid, kind, ts) in enumerate(rows):
+                fh.write(json.dumps(
+                    {"v": 1, "seq": i, "ts_ns": ts, "pid": pid, "kind": kind}
+                ) + "\n")
+        lat = extract_latencies(EventLog(tmp_path).read())
+        assert sorted(lat["chunk"]) == [pytest.approx(100e-9), pytest.approx(240e-9)]
+
+    def test_multi_pid_merge_monotone_percentiles(self, tmp_path, rng):
+        per_pid = {
+            100 + pid: [float(x) for x in rng.random(40)]
+            for pid in range(4)
+        }
+        log = _emit_events(tmp_path, per_pid)
+        lat = extract_latencies(log.read())
+        merged = [d for durs in per_pid.values() for d in durs]
+        assert len(lat["query"]) == len(merged)
+        # Durations round-trip through integer nanoseconds in the event
+        # schema, so equality holds only to 1 ns.
+        assert sorted(lat["query"]) == pytest.approx(sorted(merged), abs=2e-9)
+        ps = [percentile(lat["query"], p) for p in (0, 10, 50, 90, 99, 99.9, 100)]
+        assert ps == sorted(ps)  # monotone in p after the merge
+
+    def test_tolerates_one_torn_line(self, tmp_path):
+        log = _emit_events(tmp_path, {1: [0.001, 0.002, 0.003]})
+        # Simulate a writer caught mid-line: truncated JSON at the tail.
+        with open(tmp_path / "events-1.jsonl", "a") as fh:
+            fh.write('{"v": 1, "seq": 3, "ts_ns": 99, "pid": 1, "kin')
+        lat = extract_latencies(log.read())
+        assert lat["query"] == pytest.approx([0.001, 0.002, 0.003])
+        assert log.skipped == 1
+
+    def test_slo_percentile_agrees_with_histogram_on_stream(self, tmp_path, rng):
+        durs = [float(x) for x in rng.random(301)]
+        log = _emit_events(tmp_path, {1: durs})
+        lat = extract_latencies(log.read())
+        h = _metrics.Histogram("stream-agree")
+        for d in lat["query"]:
+            h.observe(d)
+        st = LatencyStats.from_samples("query", lat["query"])
+        for p, got in ((50.0, st.p50), (90.0, st.p90), (99.0, st.p99), (99.9, st.p999)):
+            assert got == h.percentile(p)
+
+
+class TestBudgets:
+    def test_parse_units_and_deadline(self):
+        budgets = parse_budgets([
+            {"metric": "query", "p99_ms": 5.0, "deadline_ms": 10.0,
+             "miss_frac": 0.01},
+        ])
+        by_stat = {b.stat: b for b in budgets}
+        assert by_stat["p99"].limit == pytest.approx(0.005)
+        assert by_stat["miss_frac"].limit == 0.01
+        assert all(b.deadline_s == pytest.approx(0.010) for b in budgets)
+
+    def test_bare_deadline_implies_zero_misses(self):
+        budgets = parse_budgets([{"metric": "query", "deadline_s": 1.0}])
+        assert [(b.stat, b.limit) for b in budgets] == [("miss_frac", 0.0)]
+
+    def test_unknown_key_names_accepted_ones(self):
+        with pytest.raises(ValueError, match="p99_ms"):
+            parse_budgets([{"metric": "query", "p99_msec": 5.0}])
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(ValueError, match="metric"):
+            parse_budgets([{"p99_ms": 5.0}])
+
+
+class TestEvaluate:
+    def test_ok(self):
+        rep = evaluate({"query": [0.001, 0.002]}, [SLOBudget("query", "p99", 1.0)])
+        assert rep.ok and rep.verdict == "ok" and rep.exit_code == EXIT_OK
+
+    def test_violated(self):
+        rep = evaluate({"query": [0.5, 2.0]}, [SLOBudget("query", "p99", 0.1)])
+        assert not rep.ok
+        assert rep.verdict == "violated" and rep.exit_code == EXIT_VIOLATED
+        assert rep.violations[0].measured > 0.1
+
+    def test_no_data_fails_gate(self):
+        rep = evaluate({}, [SLOBudget("query", "p99", 0.1)])
+        assert rep.verdict == "no-data" and rep.exit_code == EXIT_NO_DATA
+
+    def test_miss_counting_against_deadline(self):
+        budgets = parse_budgets(
+            [{"metric": "query", "deadline_s": 0.01, "miss_frac": 0.5}]
+        )
+        rep = evaluate({"query": [0.001, 0.02, 0.001, 0.001]}, budgets)
+        st = rep.stats["query"]
+        assert st.misses == 1 and st.miss_frac == pytest.approx(0.25)
+        assert rep.ok
+
+    def test_jitter_definitions(self):
+        rep = evaluate({"query": [1.0, 2.0, 3.0, 5.0]}, [])
+        st = rep.stats["query"]
+        assert st.jitter_range == pytest.approx(4.0)
+        assert st.jitter_iqr == pytest.approx(
+            percentile([1.0, 2.0, 3.0, 5.0], 75) - percentile([1.0, 2.0, 3.0, 5.0], 25)
+        )
+
+    def test_render_mentions_worst_violation(self):
+        rep = evaluate({"query": [1.0]}, [SLOBudget("query", "max", 0.1)])
+        out = rep.render()
+        assert "SLO VIOLATED" in out and "query.max" in out
+
+
+class TestSLOCli:
+    def _stream(self, tmp_path, durs):
+        return _emit_events(tmp_path / "ev", {1: durs})
+
+    def test_exit_zero_when_met(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "ev").mkdir()
+        self._stream(tmp_path, [0.001] * 20)
+        budgets = tmp_path / "b.json"
+        budgets.write_text(json.dumps([{"metric": "query", "p99_s": 1.0}]))
+        assert main(["slo", "--events", str(tmp_path / "ev"),
+                     "--budgets", str(budgets)]) == 0
+        assert "SLO OK" in capsys.readouterr().out
+
+    def test_exit_one_on_violated_p99(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "ev").mkdir()
+        self._stream(tmp_path, [0.5] * 20)
+        budgets = tmp_path / "b.json"
+        budgets.write_text(json.dumps([{"metric": "query", "p99_ms": 1.0}]))
+        with pytest.raises(SystemExit) as exc:
+            main(["slo", "--events", str(tmp_path / "ev"),
+                  "--budgets", str(budgets)])
+        assert exc.value.code == EXIT_VIOLATED
+        assert "SLO VIOLATED" in capsys.readouterr().out
+
+    def test_exit_three_on_empty_stream_with_layout_hint(self, tmp_path, capsys):
+        from repro.cli import main
+
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        budgets = tmp_path / "b.json"
+        budgets.write_text(json.dumps([{"metric": "query", "p99_s": 1.0}]))
+        with pytest.raises(SystemExit) as exc:
+            main(["slo", "--events", str(empty), "--budgets", str(budgets)])
+        assert exc.value.code == EXIT_EMPTY_STREAM
+        out = capsys.readouterr().out
+        assert "empty" in out and "events-<pid>.jsonl" in out
+
+    def test_watch_once_exit_three_on_empty_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        with pytest.raises(SystemExit) as exc:
+            main(["watch", "--once", "--events", str(empty)])
+        assert exc.value.code == EXIT_EMPTY_STREAM
+        out = capsys.readouterr().out
+        assert "empty" in out and "events-<pid>.jsonl" in out
+
+
+class TestRegressTailGate:
+    def test_tail_phases_use_wider_band(self):
+        from repro.obs.regress import compare, is_tail_phase
+
+        assert is_tail_phase("scenario.s.query.p99")
+        assert is_tail_phase("scenario.s.query.jitter_iqr")
+        assert not is_tail_phase("scenario.s.wall")
+        baseline = {
+            "scenario.s.query.p99": [1.0, 1.0, 1.0],
+            "scenario.s.wall": [1.0, 1.0, 1.0],
+        }
+        # +50%: inside the 0.75 tail band, outside the 0.25 median band.
+        candidate = {"scenario.s.query.p99": 1.5, "scenario.s.wall": 1.5}
+        rep = compare(baseline, candidate, rel_tol=0.25, tail_rel_tol=0.75)
+        by_name = {v.name: v.status for v in rep.verdicts}
+        assert by_name["scenario.s.query.p99"] == "ok"
+        assert by_name["scenario.s.wall"] == "regressed"
+
+    def test_tail_regression_still_confirms(self):
+        from repro.obs.regress import compare
+
+        baseline = {"scenario.s.query.p99": [1.0, 1.0, 1.0]}
+        rep = compare(baseline, {"scenario.s.query.p99": 2.0}, tail_rel_tol=0.75)
+        assert [v.status for v in rep.verdicts] == ["regressed"]
+        assert not rep.ok
+
+
+class TestSloFromEvents:
+    def test_one_call_gate(self, tmp_path):
+        log = _emit_events(tmp_path, {1: [0.001, 0.002]})
+        rep = slo_from_events(log.read(), [{"metric": "query", "p99_s": 1.0}])
+        assert rep.ok

@@ -1,0 +1,335 @@
+"""repro.scenarios: config validation, builtin library, matrix runner, gates.
+
+The runner tests execute real (small) scenarios through the actual
+engine/hetero runners — no mocks — and assert the full contract: events
+land in the scenario's own directory, the SLO verdict reflects the
+budgets, the ledger record carries the ``scenario`` / ``slo_verdict``
+meta and the tail-percentile phases the regression gate consumes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.ledger import Ledger
+from repro.scenarios import (
+    ALGORITHMS,
+    BUILTIN_SPECS,
+    GRAPH_FAMILIES,
+    GraphSpec,
+    QueryLoad,
+    ScenarioConfig,
+    ScenarioError,
+    builtin_scenarios,
+    get_scenario,
+    load_config,
+    run_matrix,
+    run_scenario,
+    render_matrix,
+)
+
+
+class TestGraphSpec:
+    def test_builds_every_family(self):
+        specs = {
+            "theta": {"n_chains": 3, "chain_len": 4},
+            "cactus": {"n_cycles": 3, "cycle_len": 4},
+            "bridge_heavy": {"n_blocks": 3, "block_size": 4},
+            "hairball": {"n": 8, "m": 14},
+            "disconnected": {"n_parts": 2, "part_size": 4, "isolated": 1},
+            "star_of_cycles": {"arms": 3, "cycle_len": 4},
+            "grid": {"rows": 3, "cols": 3},
+            "gnm": {"n": 10, "m": 14},
+        }
+        assert set(specs) | {"dataset"} == set(GRAPH_FAMILIES)
+        for family, args in specs.items():
+            g = GraphSpec.from_dict({"family": family, "args": args}).build()
+            assert g.n > 0
+
+    def test_deterministic_in_seed(self):
+        spec = {"family": "gnm", "args": {"n": 12, "m": 20}, "seed": 5}
+        a = GraphSpec.from_dict(spec).build()
+        b = GraphSpec.from_dict(spec).build()
+        assert a.n == b.n and a.m == b.m
+        assert (a.weights == b.weights).all()
+
+    def test_reweight_applied(self):
+        base = GraphSpec.from_dict({"family": "grid", "args": {"rows": 4, "cols": 4}})
+        tied = GraphSpec.from_dict(
+            {"family": "grid", "args": {"rows": 4, "cols": 4}, "reweight": "ties"}
+        )
+        assert len(set(tied.build().weights)) <= len(set(base.build().weights))
+
+    def test_unknown_family_and_keys_rejected(self):
+        with pytest.raises(ScenarioError, match="family"):
+            GraphSpec.from_dict({"family": "moebius"})
+        with pytest.raises(ScenarioError, match="unknown key"):
+            GraphSpec.from_dict({"family": "grid", "rows": 3})
+
+    def test_bad_generator_args_fail_at_build_with_context(self):
+        spec = GraphSpec.from_dict({"family": "grid", "args": {"rowz": 3}})
+        with pytest.raises(ScenarioError, match="grid"):
+            spec.build()
+
+
+class TestScenarioConfig:
+    def _minimal(self, **over):
+        doc = {"name": "t", "graph": {"family": "grid", "args": {"rows": 3, "cols": 3}}}
+        doc.update(over)
+        return doc
+
+    def test_minimal_defaults(self):
+        cfg = ScenarioConfig.from_dict(self._minimal())
+        assert cfg.algorithm == "apsp" and cfg.workers == 0
+        assert cfg.queries is None and cfg.slo == () and cfg.repeats == 1
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown key"):
+            ScenarioConfig.from_dict(self._minimal(deadline="nope"))
+
+    def test_workers_require_sssp(self):
+        with pytest.raises(ScenarioError, match="sssp"):
+            ScenarioConfig.from_dict(self._minimal(workers=2, algorithm="apsp"))
+        cfg = ScenarioConfig.from_dict(self._minimal(workers=2, algorithm="sssp"))
+        assert cfg.workers == 2
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(ScenarioError, match="REPRO_FAULTS"):
+            ScenarioConfig.from_dict(self._minimal(faults="worker.explode"))
+
+    def test_bad_budget_rejected_at_load(self):
+        with pytest.raises(ScenarioError, match="p99_ms"):
+            ScenarioConfig.from_dict(
+                self._minimal(slo=[{"metric": "query", "p99_lightyears": 1}])
+            )
+
+    def test_query_cap_enforced(self):
+        with pytest.raises(ScenarioError, match="cap"):
+            QueryLoad.from_dict({"count": 10_000_000})
+
+    def test_algorithms_constant(self):
+        assert ALGORITHMS == ("apsp", "mcb", "sssp")
+
+
+class TestLoadConfig:
+    def test_json_forms(self, tmp_path):
+        single = {"name": "a", "graph": {"family": "grid", "args": {"rows": 3, "cols": 3}}}
+        for doc in (single, [single], {"scenarios": [single]}):
+            p = tmp_path / "c.json"
+            p.write_text(json.dumps(doc))
+            cfgs = load_config(p)
+            assert [c.name for c in cfgs] == ["a"]
+
+    def test_toml_when_available(self, tmp_path):
+        tomllib = pytest.importorskip("tomllib")
+        del tomllib
+        p = tmp_path / "c.toml"
+        p.write_text(
+            '[[scenarios]]\nname = "t"\nalgorithm = "apsp"\n'
+            '[scenarios.graph]\nfamily = "grid"\n'
+            "[scenarios.graph.args]\nrows = 3\ncols = 3\n"
+        )
+        cfgs = load_config(p)
+        assert [c.name for c in cfgs] == ["t"]
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        single = {"name": "a", "graph": {"family": "grid", "args": {"rows": 3, "cols": 3}}}
+        p = tmp_path / "c.json"
+        p.write_text(json.dumps([single, single]))
+        with pytest.raises(ScenarioError, match="duplicate"):
+            load_config(p)
+
+    def test_invalid_json_named(self, tmp_path):
+        p = tmp_path / "c.json"
+        p.write_text("{nope")
+        with pytest.raises(ScenarioError, match="invalid JSON"):
+            load_config(p)
+
+    def test_example_config_loads(self):
+        from pathlib import Path
+
+        example = Path(__file__).resolve().parents[1] / "examples" / "scenario_smoke.json"
+        cfgs = load_config(example)
+        assert len(cfgs) == 3
+        assert any(c.faults for c in cfgs)  # the fault-injected smoke leg
+        assert any(
+            any(b.deadline_s is not None for b in c.slo) for c in cfgs
+        )  # the tight-deadline leg
+
+
+class TestLibrary:
+    def test_all_builtins_validate(self):
+        cfgs = builtin_scenarios()
+        assert len(cfgs) == len(BUILTIN_SPECS) >= 6
+
+    def test_spans_families_algorithms_and_faults(self):
+        cfgs = builtin_scenarios()
+        families = {c.graph.family for c in cfgs}
+        assert {"theta", "cactus", "bridge_heavy", "grid"} <= families
+        assert {c.algorithm for c in cfgs} == set(ALGORITHMS)
+        assert any(c.faults for c in cfgs)
+        assert any(any(b.deadline_s is not None for b in c.slo) for c in cfgs)
+
+    def test_get_scenario_unknown_lists_names(self):
+        with pytest.raises(ScenarioError, match="clean-theta-apsp"):
+            get_scenario("not-a-scenario")
+
+
+def _tiny(name="tiny", **over):
+    doc = {
+        "name": name,
+        "graph": {"family": "theta", "args": {"n_chains": 2, "chain_len": 4}},
+        "algorithm": "apsp",
+        "queries": {"count": 25, "seed": 1},
+        "slo": [{"metric": "query", "p99_s": 60.0}],
+    }
+    doc.update(over)
+    return ScenarioConfig.from_dict(doc)
+
+
+class TestRunScenario:
+    def test_end_to_end_with_ledger(self, tmp_path):
+        led = Ledger(tmp_path / "ledger.jsonl")
+        res = run_scenario(_tiny(), tmp_path / "ev", ledger=led)
+        assert res.ok and res.verdict == "ok"
+        assert res.n_events > 0
+        assert "query" in res.stats and res.stats["query"].count == 25
+        rec = led.latest(kind="scenario")
+        assert rec is not None
+        assert rec.meta["scenario"] == "tiny"
+        assert rec.meta["slo_verdict"] == "ok"
+        # Tail percentiles ledgered as phases for the regression gate.
+        assert "scenario.tiny.query.p99" in rec.phases
+        assert "scenario.tiny.wall" in rec.phases
+
+    def test_ledger_scenario_filter(self, tmp_path):
+        led = Ledger(tmp_path / "ledger.jsonl")
+        run_scenario(_tiny("one"), tmp_path / "e1", ledger=led)
+        run_scenario(_tiny("two"), tmp_path / "e2", ledger=led)
+        assert [r.meta["scenario"] for r in led.records(scenario="one")] == ["one"]
+        hist = led.phase_history(kind="scenario", scenario="two")
+        assert "scenario.two.wall" in hist and "scenario.one.wall" not in hist
+
+    def test_violated_budget_gates(self, tmp_path):
+        cfg = _tiny("hot", slo=[{"metric": "query", "p99_s": 1e-12}])
+        res = run_scenario(cfg, tmp_path / "ev")
+        assert not res.ok and res.verdict == "violated"
+        assert res.slo.exit_code == 1
+
+    def test_absent_metric_is_no_data(self, tmp_path):
+        cfg = _tiny("nodata", queries=None,
+                    slo=[{"metric": "query", "p99_s": 60.0}])
+        res = run_scenario(cfg, tmp_path / "ev")
+        assert res.verdict == "no-data" and res.slo.exit_code == 2
+
+    def test_fault_scenario_fires_and_passes(self, tmp_path):
+        import warnings
+
+        cfg = ScenarioConfig.from_dict({
+            "name": "crashy",
+            "graph": {"family": "grid", "args": {"rows": 5, "cols": 5}},
+            "algorithm": "sssp",
+            "workers": 2,
+            # chunk_size 8 → chunks start at 0, 8, 16, 24; the crash
+            # threshold of 4 guarantees the second chunk fires the fault.
+            "chunk_size": 8,
+            "faults": "worker.crash:4",
+            "slo": [{"metric": "dispatch", "p99_s": 120.0}],
+        })
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)  # degradation note
+            res = run_scenario(cfg, tmp_path / "ev")
+        assert res.ok
+        kinds = set()
+        from repro.obs.events import EventLog
+
+        for ev in EventLog(tmp_path / "ev").read():
+            kinds.add(ev["kind"])
+        assert "fault.fired" in kinds
+        assert "dispatch.finish" in kinds
+
+    def test_matrix_and_render(self, tmp_path):
+        results = run_matrix([_tiny("a"), _tiny("b")], tmp_path / "root")
+        assert [r.config.name for r in results] == ["a", "b"]
+        assert (tmp_path / "root" / "a").is_dir()
+        out = render_matrix(results)
+        assert "a" in out and "scenario matrix" in out
+
+
+class TestScenariosCli:
+    def test_config_run_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cfg = tmp_path / "c.json"
+        cfg.write_text(json.dumps([{
+            "name": "cli-tiny",
+            "graph": {"family": "theta", "args": {"n_chains": 2, "chain_len": 4}},
+            "algorithm": "apsp",
+            "queries": {"count": 10, "seed": 2},
+            "slo": [{"metric": "query", "p99_s": 60.0}],
+        }]))
+        assert main([
+            "scenarios", "--config", str(cfg),
+            "--events-out", str(tmp_path / "ev"),
+            "--ledger", str(tmp_path / "ledger.jsonl"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cli-tiny" in out and "scenario matrix" in out
+        assert Ledger(tmp_path / "ledger.jsonl").latest(scenario="cli-tiny")
+
+    def test_violated_config_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cfg = tmp_path / "c.json"
+        cfg.write_text(json.dumps([{
+            "name": "cli-hot",
+            "graph": {"family": "theta", "args": {"n_chains": 2, "chain_len": 4}},
+            "algorithm": "apsp",
+            "queries": {"count": 10, "seed": 2},
+            "slo": [{"metric": "query", "p99_s": 1e-12}],
+        }]))
+        with pytest.raises(SystemExit) as exc:
+            main(["scenarios", "--config", str(cfg),
+                  "--events-out", str(tmp_path / "ev")])
+        assert exc.value.code == 1
+        assert "SLO VIOLATED" in capsys.readouterr().out
+
+    def test_builtin_selection(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "scenarios", "--scenario", "cactus-mcb",
+            "--events-out", str(tmp_path / "ev"),
+        ]) == 0
+        assert "cactus-mcb" in capsys.readouterr().out
+
+
+class TestReportSloPanel:
+    def test_panel_renders_budgets_and_miss_timeline(self, tmp_path):
+        from repro.obs.events import EventLog
+        from repro.obs.report import build_report, validate_report
+
+        led = Ledger(tmp_path / "ledger.jsonl")
+        cfg = _tiny("panel", slo=[
+            {"metric": "query", "p99_s": 60.0, "deadline_ms": 400.0,
+             "miss_frac": 1.0},
+        ])
+        res = run_scenario(cfg, tmp_path / "ev", ledger=led)
+        events = EventLog(tmp_path / "ev").read()
+        doc = build_report(
+            title="t", events=events, record=res.record, history=[res.record]
+        )
+        assert validate_report(doc) == []
+        assert 'id="section-slo"' in doc
+        assert "deadline-miss timeline" in doc
+        assert "scenario verdict" in doc
+
+    def test_panel_degrades_without_data(self):
+        from repro.obs.report import build_report, validate_report
+
+        doc = build_report(title="empty")
+        assert validate_report(doc) == []
+        assert 'id="section-slo"' in doc
+        assert "no SLO data" in doc
