@@ -128,6 +128,72 @@ def bench_bulk_query(scale: float) -> dict:
     }
 
 
+def bench_sampler_overhead(scale: float) -> dict:
+    """Oracle serving throughput with the stack sampler off vs armed.
+
+    The continuous profiler's contract is "cheap enough to leave on": a
+    daemon thread waking at ~97 Hz against a query workload that holds
+    the GIL in NumPy kernels most of the time.  ``overhead_frac`` is the
+    fractional slowdown of ``query_many`` with sampling armed; the
+    regression gate in CI holds it under 5%.
+
+    Measurement note: the sample itself costs ~20 us, so on a multi-core
+    host the sampler rides a spare core and the true overhead is well
+    under 1%.  On a *single*-core host any periodically waking thread
+    costs a few percent of scheduler/GIL churn regardless of what it
+    does, and wall-clock noise is the same order — hence the alternating
+    off/on rounds below.  The CI gate runs on multi-core runners.
+    """
+    import tempfile
+
+    from repro.apsp.reduced_oracle import ReducedDistanceOracle
+    from repro.obs.sampler import DEFAULT_HZ, read_profile, sampling_to
+    from repro.qa.strategies import theta_graph
+
+    n_chains, chain_len = 6, max(8, int(2000 * scale))
+    g = theta_graph(n_chains=n_chains, chain_len=chain_len, seed=7)
+    oracle = ReducedDistanceOracle(g)
+    rng = np.random.default_rng(11)
+    pairs = rng.integers(0, g.n, size=(20_000, 2), dtype=np.int64)
+
+    def serve() -> None:
+        for _ in range(40):
+            oracle.query_many(pairs)
+
+    serve()  # warm the bulk index so neither timing pays the build
+    # Interleave the off/on windows and alternate which side goes first
+    # each round, keeping the best of each: CPU warm-up / frequency drift
+    # and within-round position bias then cancel instead of flattering
+    # whichever side happens to run later.
+    t_off = t_on = float("inf")
+    samples = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for i in range(9):
+            def timed_on() -> float:
+                nonlocal samples
+                shard_dir = f"{tmp}/{i}"
+                with sampling_to(shard_dir, hz=DEFAULT_HZ):
+                    t = _time(serve, repeat=1)
+                samples += sum(read_profile(shard_dir).values())
+                return t
+
+            if i % 2 == 0:
+                t_off = min(t_off, _time(serve, repeat=1))
+                t_on = min(t_on, timed_on())
+            else:
+                t_on = min(t_on, timed_on())
+                t_off = min(t_off, _time(serve, repeat=1))
+    return {
+        "graph": {"name": f"theta-{n_chains}x{chain_len}", "n": g.n, "m": g.m},
+        "pairs": int(pairs.shape[0]),
+        "hz": float(DEFAULT_HZ),
+        "disabled_s": t_off,
+        "enabled_s": t_on,
+        "overhead_frac": t_on / t_off - 1.0 if t_off else 0.0,
+        "samples": int(samples),
+    }
+
+
 def bench_fig2(scale: float) -> list[dict]:
     from repro.bench import run_fig2
 
@@ -185,6 +251,8 @@ def _phases(baseline: dict) -> dict:
         "smoke.parallel.parallel": pl["parallel_s"],
         "smoke.bulk_query.scalar": baseline["bulk_query"]["scalar_s"],
         "smoke.bulk_query.vectorized": baseline["bulk_query"]["vectorized_s"],
+        "smoke.sampler.disabled": baseline["sampler"]["disabled_s"],
+        "smoke.sampler.enabled": baseline["sampler"]["enabled_s"],
     }
     for row in baseline["fig2"]:
         phases[f"smoke.fig2.{row['name']}.ours"] = row["t_ours_s"]
@@ -234,6 +302,7 @@ def main() -> None:
         "repeated_sssp": bench_repeated_sssp(args.scale),
         "parallel": bench_parallel(args.scale),
         "bulk_query": bench_bulk_query(args.scale),
+        "sampler": bench_sampler_overhead(args.scale),
         "fig2": bench_fig2(args.scale),
         "table2": bench_table2(args.scale),
     }
@@ -292,6 +361,12 @@ def main() -> None:
         f"bulk query: scalar {bq['scalar_s']:.3f}s vs vectorized "
         f"{bq['vectorized_s']:.4f}s ({bq['speedup']:.1f}x, "
         f"bit_identical={bq['bit_identical']})"
+    )
+    sp = baseline["sampler"]
+    print(
+        f"sampler overhead: off {sp['disabled_s']:.4f}s vs armed "
+        f"{sp['enabled_s']:.4f}s at {sp['hz']:g} Hz "
+        f"({sp['overhead_frac'] * 100:+.2f}%, {sp['samples']} samples)"
     )
 
 

@@ -313,7 +313,16 @@ def _cmd_profile(args) -> None:
     before = snapshot()
     clocks: dict | None = None
     ev_ctx = events_to(args.events_out) if args.events_out else contextlib.nullcontext()
-    with ev_ctx, tracing() as tr, memory_profiling() as mp:
+    sample_hz = getattr(args, "sample_hz", None)
+    if sample_hz:
+        from .obs.sampler import sampling_to
+
+        profile_dir = getattr(args, "profile_out", None) or "repro-profile"
+        smp_ctx = sampling_to(profile_dir, hz=sample_hz)
+    else:
+        profile_dir = None
+        smp_ctx = contextlib.nullcontext()
+    with ev_ctx, smp_ctx, tracing() as tr, memory_profiling() as mp:
         if workload in ("apsp", "both"):
             from .hetero.apsp_runner import apsp_with_trace
             from .hetero.executor import Platform
@@ -343,6 +352,15 @@ def _cmd_profile(args) -> None:
         n_events = len(log.read())
         print(f"wrote {n_events} events to {args.events_out}/ "
               f"({len(log.shards())} shard(s); view with repro-bench watch --once)")
+    if profile_dir:
+        from .obs.sampler import read_profile
+
+        merged = read_profile(profile_dir)
+        print(
+            f"sampler: {sum(merged.values())} samples / "
+            f"{len(merged)} unique stack(s) at {sample_hz:g} Hz -> "
+            f"{profile_dir}/ (collapsed-stack shards; feed to flamegraph.pl)"
+        )
     if args.trace_out:
         tr.write_chrome(args.trace_out, clocks=clocks)
         print(f"wrote Chrome trace to {args.trace_out} "
@@ -390,6 +408,9 @@ def _cmd_profile(args) -> None:
             meta["events_dir"] = str(Path(args.events_out).resolve())
         if args.trace_out:
             meta["trace_path"] = str(Path(args.trace_out).resolve())
+        if profile_dir:
+            meta["profile_dir"] = str(Path(profile_dir).resolve())
+            meta["sampler_hz"] = float(sample_hz)
         ledger.append(
             RunRecord.new(
                 kind="profile",
@@ -578,11 +599,14 @@ def _cmd_report(args) -> None:
 
     trace_path = args.trace
     events_dir = args.events
+    profile_dir = getattr(args, "profile", None)
     if record is not None:
         if trace_path is None:
             trace_path = record.meta.get("trace_path")
         if events_dir is None:
             events_dir = record.meta.get("events_dir")
+        if profile_dir is None:
+            profile_dir = record.meta.get("profile_dir")
 
     trace = None
     if trace_path and Path(trace_path).exists():
@@ -594,6 +618,11 @@ def _cmd_report(args) -> None:
         events = log.read()
         if log.skipped:
             print(f"events: skipped {log.skipped} unreadable line(s)")
+    profile = None
+    if profile_dir and Path(profile_dir).is_dir():
+        from .obs.sampler import read_profile
+
+        profile = read_profile(profile_dir) or None
 
     title = "repro run report"
     if record is not None:
@@ -603,7 +632,13 @@ def _cmd_report(args) -> None:
             title = f"repro run report — {wl or '?'} on {ds or '?'}"
     out = args.out or "run-report.html"
     write_report(
-        out, title=title, trace=trace, events=events, record=record, history=history
+        out,
+        title=title,
+        trace=trace,
+        events=events,
+        record=record,
+        history=history,
+        profile=profile,
     )
     with open(out) as fh:
         problems = validate_report(fh.read())
@@ -614,6 +649,7 @@ def _cmd_report(args) -> None:
     srcs = [
         f"trace={trace_path}" if trace is not None else None,
         f"events={events_dir}" if events is not None else None,
+        f"profile={profile_dir}" if profile is not None else None,
         f"ledger={ledger_path}" if record is not None else None,
     ]
     print(f"wrote report to {out} ({', '.join(s for s in srcs if s) or 'no inputs'})")
@@ -766,6 +802,25 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="profile/scenarios: directory for the structured event stream "
              "(per-pid JSONL shards; scenarios nests one subdir per scenario)",
+    )
+    parser.add_argument(
+        "--sample-hz",
+        type=float,
+        default=None,
+        help="profile: arm the continuous stack sampler at this rate "
+             "(collapsed-stack shards land in --profile-out)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        help="profile: directory for collapsed-stack sampler shards "
+             "(default repro-profile/ when --sample-hz is set)",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        help="report: collapsed-stack profile directory to render "
+             "(default: the ledgered run's profile_dir)",
     )
     parser.add_argument(
         "--config",

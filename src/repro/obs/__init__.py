@@ -28,6 +28,12 @@ This package makes that accounting first-class for the reproduction:
   deadline misses) extracted from merged event streams and judged
   against declared SLO budgets; surfaced as ``repro-bench slo`` and the
   scenario harness of :mod:`repro.scenarios`.
+* :mod:`repro.obs.provenance` — per-query explain records for the
+  distance-oracle serving path (pair class, component, boundary APs,
+  resolving formula), captured bit-identically alongside ``query_many``.
+* :mod:`repro.obs.sampler` — zero-dependency continuous profiling: a
+  thread-based stack sampler with collapsed-stack (flamegraph) export,
+  armed via ``REPRO_SAMPLER`` / ``repro-bench profile --sample-hz``.
 
 Enable tracing with the ``REPRO_TRACE`` environment variable (``1`` to
 collect, a ``*.json`` path to also write a Chrome trace at process exit)
@@ -111,17 +117,35 @@ from .regress import (
     measure_profile_phases,
     phase_totals,
 )
+from .provenance import (
+    PAIR_CLASSES,
+    RESOLVER_NAMES,
+    BatchProvenance,
+    QueryProvenance,
+)
 from .report import REPORT_SECTIONS, build_report, validate_report, write_report
+from .sampler import (
+    DEFAULT_HZ,
+    DEFAULT_PROFILE_DIR,
+    StackSampler,
+    active_sampler,
+    parse_collapsed,
+    read_profile,
+    sampling_to,
+    top_stacks,
+)
 from .slo import (
     EXIT_EMPTY_STREAM,
     EXIT_NO_DATA,
     EXIT_OK,
     EXIT_VIOLATED,
+    Exemplar,
     LatencyStats,
     SLOBudget,
     SLOReport,
     SLOVerdict,
     evaluate,
+    extract_exemplars,
     extract_latencies,
     parse_budgets,
     percentile,
@@ -184,15 +208,31 @@ __all__ = [
     "EXIT_NO_DATA",
     "EXIT_OK",
     "EXIT_VIOLATED",
+    "Exemplar",
     "LatencyStats",
     "SLOBudget",
     "SLOReport",
     "SLOVerdict",
     "evaluate",
+    "extract_exemplars",
     "extract_latencies",
     "parse_budgets",
     "percentile",
     "slo_from_events",
+    # provenance
+    "PAIR_CLASSES",
+    "RESOLVER_NAMES",
+    "BatchProvenance",
+    "QueryProvenance",
+    # sampler
+    "DEFAULT_HZ",
+    "DEFAULT_PROFILE_DIR",
+    "StackSampler",
+    "active_sampler",
+    "parse_collapsed",
+    "read_profile",
+    "sampling_to",
+    "top_stacks",
     # report
     "REPORT_SECTIONS",
     "build_report",

@@ -127,7 +127,12 @@ class EventSink:
                 "pid": pid,
                 "kind": kind,
             }
-            doc.update(fields)
+            # The envelope always wins: a payload field that collides with
+            # a schema key (a query endpoint named ``v``, a worker field
+            # named ``pid``) is dropped rather than allowed to corrupt the
+            # envelope and get the whole line skipped by the reader.
+            for key, val in fields.items():
+                doc.setdefault(key, val)
             line = json.dumps(doc, separators=(",", ":"), default=str) + "\n"
             os.write(self._ensure_fd(pid), line.encode())
             self._seq += 1
@@ -150,11 +155,21 @@ class EventLog:
     (corrupt JSON, missing fields, future schema) — reported, never
     fatal, so an old checkout can read a stream written by a newer one
     and a live ``watch`` can race the writers safely.
+
+    ``clamped`` counts events whose ``ts_ns`` ran *backwards* within
+    their own shard.  ``perf_counter_ns`` is monotonic per host, but a
+    shard copied from another machine (or a VM suspend/resume) can carry
+    skewed clocks; a backwards step inside one pid's append-ordered file
+    is physically impossible, so the reader clamps the timestamp up to
+    the shard's running maximum and flags the event ``ts_clamped`` —
+    making the merged stream honestly ordered instead of silently
+    interleaving skewed shards wrongly.
     """
 
     def __init__(self, dir_path: str | os.PathLike) -> None:
         self.dir = Path(dir_path)
         self.skipped = 0
+        self.clamped = 0
 
     def shards(self) -> list[Path]:
         if not self.dir.is_dir():
@@ -162,8 +177,15 @@ class EventLog:
         return sorted(self.dir.glob("events-*.jsonl"))
 
     def read(self, kinds: set[str] | None = None) -> list[dict]:
-        """Every parseable event, merged across shards, in timestamp order."""
+        """Every parseable event, merged across shards, in timestamp order.
+
+        Within each shard, file order is emission order (O_APPEND), so a
+        timestamp below the shard's running maximum is clamped to it and
+        the event gains ``ts_clamped: True`` — clamping runs before any
+        ``kinds`` filter so skew tracking sees every event.
+        """
         self.skipped = 0
+        self.clamped = 0
         out: list[dict] = []
         for shard in self.shards():
             try:
@@ -171,6 +193,7 @@ class EventLog:
                     lines = fh.readlines()
             except OSError:  # pragma: no cover - shard vanished mid-read
                 continue
+            high = None  # running max ts_ns of this shard, in file order
             for line in lines:
                 line = line.strip()
                 if not line:
@@ -183,6 +206,12 @@ class EventLog:
                 if not self._valid(ev):
                     self.skipped += 1
                     continue
+                if high is not None and ev["ts_ns"] < high:
+                    ev["ts_ns"] = high
+                    ev["ts_clamped"] = True
+                    self.clamped += 1
+                else:
+                    high = ev["ts_ns"]
                 if kinds is None or ev["kind"] in kinds:
                     out.append(ev)
         out.sort(key=lambda e: (e["ts_ns"], e["pid"], e.get("seq", 0)))

@@ -40,7 +40,12 @@ __all__ = [
 
 #: Bump when a reader would misinterpret older records.  Readers accept
 #: records with ``schema_version <= SCHEMA_VERSION`` and skip newer ones.
-SCHEMA_VERSION = 1
+#:
+#: * **1** — original layout (kind/phases/counters/memory/meta).
+#: * **2** — adds the top-level ``exemplars`` list (tail-query provenance
+#:   captured by the scenario runner).  v1 records parse with
+#:   ``exemplars == []``.
+SCHEMA_VERSION = 2
 
 
 class LedgerError(ValueError):
@@ -99,6 +104,7 @@ class RunRecord:
     counters: dict = field(default_factory=dict)
     memory: dict = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
+    exemplars: list = field(default_factory=list)  # schema v2: tail queries
 
     @classmethod
     def new(
@@ -108,6 +114,7 @@ class RunRecord:
         counters: dict | None = None,
         memory: dict | None = None,
         meta: dict | None = None,
+        exemplars: list | None = None,
         root: str | os.PathLike | None = None,
     ) -> "RunRecord":
         """A record stamped with the current commit, host, knobs, and time."""
@@ -121,6 +128,7 @@ class RunRecord:
             counters=dict(counters or {}),
             memory=dict(memory or {}),
             meta=dict(meta or {}),
+            exemplars=list(exemplars or []),
         )
 
     def to_dict(self) -> dict:
@@ -135,6 +143,7 @@ class RunRecord:
             "counters": self.counters,
             "memory": self.memory,
             "meta": self.meta,
+            "exemplars": self.exemplars,
         }
 
     @classmethod
@@ -161,6 +170,9 @@ class RunRecord:
             if not isinstance(secs, (int, float)) or isinstance(secs, bool):
                 raise LedgerError(f"phase {name!r} has non-numeric time {secs!r}")
             clean_phases[str(name)] = float(secs)
+        exemplars = doc.get("exemplars")
+        if exemplars is not None and not isinstance(exemplars, list):
+            raise LedgerError("record exemplars must be a list when present")
         return cls(
             kind=kind,
             phases=clean_phases,
@@ -172,6 +184,8 @@ class RunRecord:
             counters=doc.get("counters") or {},
             memory=doc.get("memory") or {},
             meta=doc.get("meta") or {},
+            # v1 records predate the field; they parse with an empty list.
+            exemplars=exemplars or [],
         )
 
 

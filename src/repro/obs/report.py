@@ -42,7 +42,9 @@ __all__ = ["REPORT_SECTIONS", "build_report", "write_report", "validate_report"]
 
 #: The mandatory sections, in render order; ``validate_report``
 #: checks each ``id="section-<name>"`` anchor exists.
-REPORT_SECTIONS = ("waterfall", "timeline", "memory", "counters", "slo", "history")
+REPORT_SECTIONS = (
+    "waterfall", "timeline", "memory", "counters", "slo", "profile", "history",
+)
 
 _PALETTE = (
     "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
@@ -565,6 +567,11 @@ def _slo_section(
             if samples
         }
     if not stats and not verdicts:
+        # A record can still carry ledgered exemplars (schema v2) even
+        # when it never judged budgets — render the tail table alone.
+        tail = _exemplar_table(events, record)
+        if tail:
+            return tail
         return _nodata(
             "no SLO data (run repro-bench scenarios, or pass --events from "
             "a run with timed events)"
@@ -628,11 +635,111 @@ def _slo_section(
             '<p class="note">deadline-miss timeline needs the event stream '
             "(pass --events)</p>"
         )
+    parts.append(_exemplar_table(events, record))
+    return "".join(parts)
+
+
+def _exemplar_table(
+    events: list[dict] | None, record: "RunRecord | None"
+) -> str:
+    """Top-k tail queries with their provenance attribution.
+
+    Prefers the exemplars the scenario runner ledgered in the record's
+    top-level ``exemplars`` field (schema v2); falls back to extracting
+    them from the event stream, so an un-ledgered run still gets a table.
+    """
+    exemplars: list[dict] = []
+    if record is not None and getattr(record, "exemplars", None):
+        exemplars = [ex for ex in record.exemplars if isinstance(ex, dict)]
+    elif events:
+        from .slo import extract_exemplars
+
+        exemplars = [ex.as_dict() for ex in extract_exemplars(events)]
+    if not exemplars:
+        return ""
+    rows = []
+    for ex in exemplars:
+        u, v = ex.get("u"), ex.get("v")
+        pair = f"({u}, {v})" if u is not None and v is not None else "-"
+        aps = ex.get("boundary_aps")
+        via = f"via APs {tuple(aps)}" if aps else ""
+        rows.append(
+            f"<tr><td>{_esc(ex.get('rank', '?'))}</td>"
+            f"<td>{_esc(ex.get('metric', '?'))}</td>"
+            f"<td>{float(ex.get('dur_s') or 0) * 1e3:.3f}</td>"
+            f"<td>{_esc(pair)}</td>"
+            f"<td>{_esc(ex.get('pair_class') or '-')}</td>"
+            f"<td>{_esc(ex.get('resolver') or '-')} {_esc(via)}</td>"
+            f"<td><code>{_esc(ex.get('digest') or '-')}</code></td>"
+            f"<td>pid {_esc(ex.get('pid', '?'))} @ {_esc(ex.get('ts_ns', '?'))}</td>"
+            "</tr>"
+        )
+    return (
+        '<h3 style="font-size:13px;margin:14px 0 4px">tail exemplars — '
+        "slowest queries and why</h3>"
+        "<table><tr><th>#</th><th>metric</th><th>ms</th><th>pair</th>"
+        "<th>class</th><th>resolver</th><th>digest</th><th>trace location</th>"
+        "</tr>" + "".join(rows) + "</table>"
+        '<p class="note">pid/timestamp locate each sample in the '
+        '<a href="#section-waterfall">phase waterfall</a>\'s per-pid lanes; '
+        "the digest ties it to the query's provenance record</p>"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Section 6 — continuous-profiling flamegraph data
+# --------------------------------------------------------------------- #
+
+
+def _profile_section(
+    profile: "dict | None", record: "RunRecord | None"
+) -> str:
+    """The sampler's hottest stacks + where the collapsed shards live.
+
+    ``profile`` is the merged ``{stack_tuple: count}`` map from
+    :func:`repro.obs.sampler.read_profile`.  The full collapsed files are
+    the flamegraph input (flamegraph.pl / speedscope); the report shows
+    the top stacks inline so the artifact is useful without a renderer.
+    """
+    parts: list[str] = []
+    profile_dir = (record.meta.get("profile_dir") if record is not None else None)
+    if not profile:
+        hint = (
+            f"collapsed shards expected under <code>{_esc(profile_dir)}</code>"
+            if profile_dir
+            else "run repro-bench profile --sample-hz HZ (or set REPRO_SAMPLER)"
+        )
+        return _nodata(f"no profiling samples ({hint})")
+    from .sampler import top_stacks
+
+    total = sum(profile.values())
+    rows = []
+    for stack, n in top_stacks(profile, k=15):
+        frames = stack.split(";")
+        leaf = frames[-1]
+        rows.append(
+            f"<tr><td>{n}</td><td>{100.0 * n / total:.1f}%</td>"
+            f"<td><code>{_esc(leaf)}</code></td>"
+            f"<td><code>{_esc(';'.join(frames[-4:-1]) or '-')}</code></td></tr>"
+        )
+    parts.append(
+        f'<p class="note">{total} samples over {len(profile)} unique '
+        "stack(s), merged across per-pid shards</p>"
+    )
+    parts.append(
+        "<table><tr><th>samples</th><th>%</th><th>leaf frame</th>"
+        "<th>callers (innermost last)</th></tr>" + "".join(rows) + "</table>"
+    )
+    if profile_dir:
+        parts.append(
+            f'<p class="note">full collapsed-stack shards (flamegraph.pl / '
+            f"speedscope input): <code>{_esc(profile_dir)}</code></p>"
+        )
     return "".join(parts)
 
 
 # --------------------------------------------------------------------- #
-# Section 6 — ledger-history sparklines + regression verdict
+# Section 7 — ledger-history sparklines + regression verdict
 # --------------------------------------------------------------------- #
 
 
@@ -715,6 +822,7 @@ def build_report(
     events: list[dict] | None = None,
     record: "RunRecord | None" = None,
     history: "list[RunRecord] | None" = None,
+    profile: dict | None = None,
 ) -> str:
     """Assemble the single-file HTML report (:data:`REPORT_SECTIONS`).
 
@@ -752,6 +860,10 @@ def build_report(
         "slo": (
             "SLO panel: budgets vs measured tails",
             _slo_section(events, record),
+        ),
+        "profile": (
+            "Continuous profiling (collapsed stacks)",
+            _profile_section(profile, record),
         ),
         "history": ("Ledger history & regression verdict", _history_section(history)),
     }

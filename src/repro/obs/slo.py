@@ -55,6 +55,8 @@ __all__ = [
     "SLOBudget",
     "parse_budgets",
     "SLOVerdict",
+    "Exemplar",
+    "extract_exemplars",
     "SLOReport",
     "evaluate",
     "slo_from_events",
@@ -207,6 +209,109 @@ def extract_latencies(events: list[dict]) -> dict[str, list[float]]:
 
 
 # --------------------------------------------------------------------- #
+# Tail exemplars
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Exemplar:
+    """One tail sample tied back to *why* it was slow.
+
+    The scenario runner emits ``kind="exemplar"`` events for query
+    samples above its configured percentile, carrying the query's
+    provenance digest (:mod:`repro.obs.provenance`) — pair class,
+    resolver formula, component, boundary APs — plus the pid/timestamp
+    that locate the sample inside the Chrome trace's per-pid lanes.
+    """
+
+    metric: str
+    dur_s: float
+    rank: int                 # 1 = slowest of its metric
+    pid: int
+    ts_ns: int
+    u: int | None = None
+    v: int | None = None
+    pair_class: str | None = None
+    resolver: str | None = None
+    component: int | None = None
+    boundary_aps: tuple | None = None
+    digest: str | None = None
+
+    @classmethod
+    def from_event(cls, ev: dict, rank: int) -> "Exemplar":
+        aps = ev.get("boundary_aps")
+        return cls(
+            metric=str(ev.get("metric", "?")),
+            dur_s=float(ev.get("dur_ns", 0)) / 1e9,
+            rank=rank,
+            pid=int(ev.get("pid", 0)),
+            ts_ns=int(ev.get("ts_ns", 0)),
+            u=ev.get("src"),
+            v=ev.get("dst"),
+            pair_class=ev.get("pair_class"),
+            resolver=ev.get("resolver"),
+            component=ev.get("component"),
+            boundary_aps=tuple(aps) if aps else None,
+            digest=ev.get("digest"),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "dur_s": self.dur_s,
+            "rank": self.rank,
+            "pid": self.pid,
+            "ts_ns": self.ts_ns,
+            "u": self.u,
+            "v": self.v,
+            "pair_class": self.pair_class,
+            "resolver": self.resolver,
+            "component": self.component,
+            "boundary_aps": list(self.boundary_aps) if self.boundary_aps else None,
+            "digest": self.digest,
+        }
+
+
+def extract_exemplars(events: list[dict], top_k: int = 10) -> list[Exemplar]:
+    """The slowest attributed samples of a stream, worst first.
+
+    Prefers explicit ``kind="exemplar"`` events (full provenance); when a
+    stream carries none — a run predating the scenario runner's capture,
+    or a plain profile run — the slowest ``*.finish`` events with
+    ``dur_ns`` are synthesised into bare exemplars (duration + location,
+    no attribution) so the report's tail table never renders empty for a
+    stream that did record durations.  At most ``top_k`` per metric.
+    """
+    explicit = [ev for ev in events if ev.get("kind") == "exemplar"]
+    per_metric: dict[str, list[dict]] = {}
+    if explicit:
+        pool = explicit
+    else:
+        pool = []
+        for ev in events:
+            kind = ev.get("kind", "")
+            dur = ev.get("dur_ns")
+            if not kind.endswith(".finish") or not isinstance(dur, (int, float)):
+                continue
+            base = kind[: -len(".finish")]
+            if base == "phase":
+                metric = f"phase.{ev.get('cat', '?')}.{ev.get('phase', '?')}"
+            else:
+                metric = base
+            pool.append(dict(ev, metric=metric))
+    for ev in pool:
+        per_metric.setdefault(str(ev.get("metric", "?")), []).append(ev)
+    out: list[Exemplar] = []
+    for metric in sorted(per_metric):
+        ranked = sorted(
+            per_metric[metric], key=lambda e: -float(e.get("dur_ns", 0))
+        )[: max(0, int(top_k))]
+        out.extend(Exemplar.from_event(ev, rank=i + 1) for i, ev in enumerate(ranked))
+    out.sort(key=lambda ex: (-ex.dur_s, ex.metric, ex.rank))
+    return out
+
+
+# --------------------------------------------------------------------- #
 # Budgets
 # --------------------------------------------------------------------- #
 
@@ -331,6 +436,7 @@ class SLOReport:
 
     stats: dict[str, LatencyStats] = field(default_factory=dict)
     verdicts: list[SLOVerdict] = field(default_factory=list)
+    exemplars: list[Exemplar] = field(default_factory=list)
 
     @property
     def violations(self) -> list[SLOVerdict]:
@@ -385,6 +491,26 @@ class SLOReport:
                     title="latency distributions (from merged event stream)",
                 )
             )
+        if self.exemplars:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["#", "metric", "ms", "pair", "class", "resolver", "digest"],
+                    [
+                        (
+                            ex.rank,
+                            ex.metric,
+                            _ms(ex.dur_s),
+                            f"({ex.u},{ex.v})" if ex.u is not None else "-",
+                            ex.pair_class or "-",
+                            ex.resolver or "-",
+                            ex.digest or "-",
+                        )
+                        for ex in self.exemplars
+                    ],
+                    title="tail exemplars (slowest samples, with provenance)",
+                )
+            )
         if self.verdicts:
             lines.append("")
             lines.append(
@@ -429,7 +555,12 @@ class SLOReport:
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
-        """Ledger-meta shape: stats + verdicts + the one-word verdict."""
+        """Ledger-meta shape: stats + verdicts + the one-word verdict.
+
+        Exemplars are deliberately *not* duplicated here — the scenario
+        runner ledgers them in the record's top-level ``exemplars`` field
+        (ledger schema v2).
+        """
         return {
             "verdict": self.verdict,
             "stats": {k: v.as_dict() for k, v in sorted(self.stats.items())},
@@ -472,8 +603,10 @@ def evaluate(
     return SLOReport(stats=stats, verdicts=verdicts)
 
 
-def slo_from_events(events: list[dict], budgets) -> SLOReport:
-    """One-call gate: extract, parse (if needed), evaluate."""
+def slo_from_events(events: list[dict], budgets, top_k: int = 10) -> SLOReport:
+    """One-call gate: extract, parse (if needed), evaluate + exemplars."""
     if budgets and not isinstance(budgets[0], SLOBudget):
         budgets = parse_budgets(budgets)
-    return evaluate(extract_latencies(events), list(budgets))
+    report = evaluate(extract_latencies(events), list(budgets))
+    report.exemplars = extract_exemplars(events, top_k=top_k)
+    return report

@@ -161,16 +161,25 @@ class QueryLoad:
     batch: int = 0       # 0 = no batched query_many passes
     batches: int = 0     # how many query_many calls of size ``batch``
     seed: int = 0
+    #: Single-query samples above this percentile of the run's own latency
+    #: distribution become tail exemplars (explained + emitted as
+    #: ``kind="exemplar"`` events).  ``exemplar_k`` caps how many; 0 off.
+    exemplar_percentile: float = 99.0
+    exemplar_k: int = 10
 
     @classmethod
     def from_dict(cls, doc: dict) -> "QueryLoad":
         if not isinstance(doc, dict):
             raise ScenarioError(f"queries spec must be an object, got {doc!r}")
-        unknown = set(doc) - {"count", "batch", "batches", "seed"}
+        unknown = set(doc) - {
+            "count", "batch", "batches", "seed",
+            "exemplar_percentile", "exemplar_k",
+        }
         if unknown:
             raise ScenarioError(
                 f"queries spec: unknown key(s) {sorted(unknown)}; "
-                "accepted: count, batch, batches, seed"
+                "accepted: count, batch, batches, seed, "
+                "exemplar_percentile, exemplar_k"
             )
         count = int(doc.get("count", 0))
         batch = int(doc.get("batch", 0))
@@ -182,7 +191,20 @@ class QueryLoad:
                 f"queries: total load {count + batch * batches} exceeds "
                 f"the {MAX_QUERIES} cap (event-stream backstop)"
             )
-        return cls(count=count, batch=batch, batches=batches, seed=int(doc.get("seed", 0)))
+        pct = float(doc.get("exemplar_percentile", 99.0))
+        if not 0.0 <= pct <= 100.0:
+            raise ScenarioError("queries: exemplar_percentile outside [0, 100]")
+        k = int(doc.get("exemplar_k", 10))
+        if k < 0:
+            raise ScenarioError("queries: exemplar_k must be >= 0")
+        return cls(
+            count=count,
+            batch=batch,
+            batches=batches,
+            seed=int(doc.get("seed", 0)),
+            exemplar_percentile=pct,
+            exemplar_k=k,
+        )
 
 
 _SCENARIO_KEYS = {

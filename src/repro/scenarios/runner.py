@@ -26,7 +26,14 @@ import numpy as np
 from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..obs.events import EventLog, events_to
-from ..obs.slo import LatencyStats, SLOReport, evaluate, extract_latencies
+from ..obs.slo import (
+    LatencyStats,
+    SLOReport,
+    evaluate,
+    extract_exemplars,
+    extract_latencies,
+    percentile,
+)
 from .config import ScenarioConfig
 
 __all__ = ["ScenarioResult", "run_scenario", "run_matrix", "render_matrix"]
@@ -68,7 +75,11 @@ def _run_queries(g, load, rng) -> None:
     Singles are timed individually (``query.finish``: the honest per-query
     latency distribution, jitter included); batches go through the
     vectorized ``query_many`` (``query_batch.finish``: the bulk-serving
-    figure ROADMAP item 1 tracks).
+    figure ROADMAP item 1 tracks).  Singles landing above the configured
+    ``exemplar_percentile`` of this run's own distribution are explained
+    (:meth:`~repro.apsp.reduced_oracle.ReducedDistanceOracle.explain`) and
+    emitted as ``kind="exemplar"`` events carrying the full provenance —
+    the "10 slowest queries and why" the SLO panel renders.
     """
     from ..apsp.reduced_oracle import ReducedDistanceOracle
 
@@ -76,11 +87,43 @@ def _run_queries(g, load, rng) -> None:
     n = g.n
     if n == 0:
         return
-    for u, v in rng.integers(0, n, size=(load.count, 2)):
+    samples: list[tuple[int, int, int, int]] = []  # (dur_ns, u, v, qid)
+    for qid, (u, v) in enumerate(rng.integers(0, n, size=(load.count, 2))):
         t0 = time.perf_counter_ns()
         oracle.query(int(u), int(v))
-        _events.emit("query.finish", dur_ns=time.perf_counter_ns() - t0)
+        dur = time.perf_counter_ns() - t0
+        # Vertex endpoints travel as src/dst: ``v`` would collide with the
+        # event envelope's schema-version key.
+        _events.emit("query.finish", dur_ns=dur, src=int(u), dst=int(v), qid=qid)
+        samples.append((dur, int(u), int(v), qid))
     _C_QUERIES.inc(load.count)
+    k = getattr(load, "exemplar_k", 10)
+    if samples and k > 0:
+        cut = percentile(
+            [float(d) for d, _, _, _ in samples],
+            getattr(load, "exemplar_percentile", 99.0),
+        )
+        tail = sorted(
+            (s for s in samples if s[0] >= cut), key=lambda s: -s[0]
+        )[:k]
+        for rank, (dur, u, v, qid) in enumerate(tail, start=1):
+            rec = oracle.explain(u, v)
+            _events.emit(
+                "exemplar",
+                metric="query",
+                dur_ns=dur,
+                rank=rank,
+                src=u,
+                dst=v,
+                qid=qid,
+                pair_class=rec.pair_class,
+                resolver=rec.resolver,
+                component=rec.component,
+                boundary_aps=(
+                    list(rec.boundary_aps) if rec.boundary_aps else None
+                ),
+                digest=rec.digest(),
+            )
     for _ in range(load.batches):
         pairs = rng.integers(0, n, size=(load.batch, 2), dtype=np.int64)
         t0 = time.perf_counter_ns()
@@ -161,6 +204,8 @@ def run_scenario(
     events = log.read()
     latencies = extract_latencies(events)
     report = evaluate(latencies, list(cfg.slo))
+    top_k = cfg.queries.exemplar_k if cfg.queries is not None else 10
+    report.exemplars = extract_exemplars(events, top_k=top_k)
     if not report.ok:
         _C_VIOLATIONS.inc()
 
@@ -191,6 +236,7 @@ def run_scenario(
                     "repeats": cfg.repeats,
                     "events_dir": str(Path(events_dir).resolve()),
                 },
+                exemplars=[ex.as_dict() for ex in report.exemplars],
             )
         )
     return ScenarioResult(

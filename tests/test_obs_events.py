@@ -139,6 +139,46 @@ class TestEventLog:
         assert log.read() == []
         assert log.shards() == []
 
+    def test_skewed_shards_clamped_monotonic(self, tmp_path):
+        # Two shards from hosts with skewed clocks: pid 100's timestamps
+        # run far behind pid 200's, and pid 200's file itself contains a
+        # backwards step (a suspended-VM artifact).  The merged stream
+        # must still come out non-decreasing — backwards steps inside one
+        # shard's append order are clamped up to the shard's running max
+        # and flagged, never silently reordered.
+        (tmp_path / "events-100.jsonl").write_text(
+            '{"v":1,"seq":0,"ts_ns":10,"pid":100,"kind":"a"}\n'
+            '{"v":1,"seq":1,"ts_ns":1000,"pid":100,"kind":"b"}\n'
+        )
+        (tmp_path / "events-200.jsonl").write_text(
+            '{"v":1,"seq":0,"ts_ns":500,"pid":200,"kind":"c"}\n'
+            '{"v":1,"seq":1,"ts_ns":400,"pid":200,"kind":"d"}\n'
+            '{"v":1,"seq":2,"ts_ns":600,"pid":200,"kind":"e"}\n'
+        )
+        log = EventLog(tmp_path)
+        evs = log.read()
+        ts = [e["ts_ns"] for e in evs]
+        assert ts == sorted(ts), ts
+        assert log.clamped == 1
+        by_kind = {e["kind"]: e for e in evs}
+        # the backwards event was clamped up to its shard's running max
+        assert by_kind["d"]["ts_ns"] == 500
+        assert by_kind["d"].get("ts_clamped") is True
+        # in-order events are untouched and unflagged
+        assert "ts_clamped" not in by_kind["c"]
+        assert by_kind["e"]["ts_ns"] == 600
+
+    def test_clamped_counter_resets_per_read(self, tmp_path):
+        (tmp_path / "events-1.jsonl").write_text(
+            '{"v":1,"seq":0,"ts_ns":5,"pid":1,"kind":"a"}\n'
+            '{"v":1,"seq":1,"ts_ns":3,"pid":1,"kind":"b"}\n'
+        )
+        log = EventLog(tmp_path)
+        log.read()
+        assert log.clamped == 1
+        log.read()
+        assert log.clamped == 1  # re-counted, not accumulated
+
 
 class TestEventsTo:
     def test_installs_and_restores(self, tmp_path, monkeypatch):

@@ -1,10 +1,10 @@
-"""repro.obs.report: the five-section single-file HTML run report.
+"""repro.obs.report: the single-file HTML run report (REPORT_SECTIONS).
 
 Every section must render (data or explicit "no data" note) from any
 subset of inputs, the emitted document must pass ``validate_report`` (the
-CI smoke contract: doctype, five anchors, balanced tags, no network
-references), and the CLI must assemble reports from a ledgered run's
-``events_dir``/``trace_path`` meta alone.
+CI smoke contract: doctype, one anchor per section, balanced tags, no
+network references), and the CLI must assemble reports from a ledgered
+run's ``events_dir``/``trace_path``/``profile_dir`` meta alone.
 """
 
 from __future__ import annotations
@@ -106,6 +106,40 @@ class TestBuildReport:
         assert "engine.chunks_dispatched" in doc
         assert 'class="spark"' in doc       # history sparklines
         assert "regression gate" in doc
+
+    def test_profile_section_renders_top_stacks(self):
+        profile = {
+            ("main.py:main", "engine.py:all_pairs", "numeric.py:min"): 40,
+            ("main.py:main", "oracle.py:query_many"): 10,
+        }
+        doc = build_report(profile=profile)
+        assert validate_report(doc) == []
+        assert "numeric.py:min" in doc      # hottest leaf frame
+        assert "50" in doc                  # total sample count
+        rec = _record(meta={"workload": "apsp", "profile_dir": "/tmp/prof"})
+        doc = build_report(record=rec)      # no samples: explicit note
+        assert validate_report(doc) == []
+        assert 'id="section-profile"' in doc
+
+    def test_exemplar_panel_renders_tail_queries(self):
+        rec = _record(
+            exemplars=[
+                {"metric": "query", "dur_s": 0.004, "rank": 1, "pid": 7,
+                 "ts_ns": 100, "u": 3, "v": 9, "pair_class": "cross-bcc",
+                 "resolver": "ap-bridge", "component": -1,
+                 "boundary_aps": [2, 5], "digest": "abc123def456"},
+                {"metric": "query", "dur_s": 0.001, "rank": 2, "pid": 7,
+                 "ts_ns": 200, "u": 1, "v": 2, "pair_class": "same-bcc",
+                 "resolver": "table", "component": 0,
+                 "boundary_aps": None, "digest": "fed654cba321"},
+            ]
+        )
+        doc = build_report(record=rec)
+        assert validate_report(doc) == []
+        assert "cross-bcc" in doc
+        assert "ap-bridge" in doc
+        assert "abc123def456" in doc
+        assert "(2, 5)" in doc              # boundary APs attribution
 
     def test_history_regression_verdict_flags_slowdown(self):
         history = [_record(phases={"process": 0.1}) for _ in range(6)]

@@ -25,6 +25,7 @@ from repro.obs.slo import (
     LatencyStats,
     SLOBudget,
     evaluate,
+    extract_exemplars,
     extract_latencies,
     parse_budgets,
     percentile,
@@ -278,6 +279,73 @@ class TestEvaluate:
         rep = evaluate({"query": [1.0]}, [SLOBudget("query", "max", 0.1)])
         out = rep.render()
         assert "SLO VIOLATED" in out and "query.max" in out
+
+
+def _exemplar_event(rank, dur_ns, **extra):
+    ev = {
+        "v": 1, "seq": rank, "ts_ns": rank * 1000, "pid": 7,
+        "kind": "exemplar", "metric": "query", "dur_ns": dur_ns,
+        "rank": rank, "src": 1, "dst": 2,
+    }
+    ev.update(extra)
+    return ev
+
+
+class TestExemplars:
+    def test_explicit_exemplar_events_win(self):
+        events = [
+            _exemplar_event(1, 5_000_000, pair_class="cross-bcc",
+                            resolver="ap-bridge", digest="abc123def456"),
+            _exemplar_event(2, 3_000_000, pair_class="same-bcc",
+                            resolver="table", digest="fed321cba654"),
+            # a slower *.finish event that must NOT displace the explicit ones
+            {"v": 1, "seq": 9, "ts_ns": 9000, "pid": 7,
+             "kind": "query.finish", "dur_ns": 9_000_000},
+        ]
+        exs = extract_exemplars(events, top_k=10)
+        assert len(exs) == 2
+        assert exs[0].dur_s == pytest.approx(0.005)
+        assert exs[0].pair_class == "cross-bcc"
+        assert exs[0].digest == "abc123def456"
+        assert [e.rank for e in exs] == [1, 2]
+
+    def test_fallback_synthesizes_from_finish_events(self):
+        events = [
+            {"v": 1, "seq": i, "ts_ns": i * 1000, "pid": 1,
+             "kind": "query.finish", "dur_ns": (i + 1) * 1_000_000}
+            for i in range(6)
+        ]
+        exs = extract_exemplars(events, top_k=3)
+        assert len(exs) == 3
+        # slowest first, ranks restamped 1-based
+        assert [e.rank for e in exs] == [1, 2, 3]
+        assert exs[0].dur_s >= exs[1].dur_s >= exs[2].dur_s
+        assert exs[0].dur_s == pytest.approx(0.006)
+        assert exs[0].metric == "query"
+        assert exs[0].pair_class is None  # no provenance without explain
+
+    def test_top_k_caps_per_metric(self):
+        events = [_exemplar_event(r, (20 - r) * 1_000_000) for r in range(1, 15)]
+        exs = extract_exemplars(events, top_k=5)
+        assert len(exs) == 5
+
+    def test_as_dict_is_json_clean(self):
+        ev = _exemplar_event(1, 2_000_000, pair_class="self",
+                             resolver="identity", digest="0011223344aa")
+        exs = extract_exemplars([ev], top_k=1)
+        d = exs[0].as_dict()
+        json.dumps(d)
+        assert d["metric"] == "query"
+        assert d["digest"] == "0011223344aa"
+
+    def test_slo_from_events_fills_exemplars_and_render(self, tmp_path):
+        log = _emit_events(tmp_path, {1: [0.001, 0.002, 0.010]})
+        report = slo_from_events(log.read(), [], top_k=2)
+        assert len(report.exemplars) == 2
+        out = report.render()
+        assert "tail exemplars" in out
+        # ledger duplication guard: as_dict leaves exemplars to RunRecord
+        assert "exemplars" not in report.as_dict()
 
 
 class TestSLOCli:
