@@ -13,6 +13,9 @@ root, giving every change to the bulk-SSSP engine a before/after anchor:
   win; the number is recorded honestly, not asserted).
 * ``bulk_query`` — vectorized oracle ``query_many`` vs the scalar per-pair
   loop on a chain-heavy theta graph, checked bit-identical first.
+* ``critpath`` — critical-path length and span-based parallel efficiency
+  of a recorded 2-worker run (``repro.obs.critpath``); the regression
+  gate watches both, efficiency on the higher-is-better side.
 * ``fig2`` / ``table2`` — tiny-scale rows of the two headline paper
   benchmarks, correctness-checked by the harness itself.
 
@@ -194,6 +197,44 @@ def bench_sampler_overhead(scale: float) -> dict:
     }
 
 
+def bench_critpath(scale: float) -> dict:
+    """Critical-path attribution of a recorded 2-worker parallel run.
+
+    Records a real ``ParallelEngine`` run (two dispatches, two workers)
+    under a root span, then runs the offline span-DAG analyzer on the
+    collected trace.  ``length_ns`` and ``parallel_efficiency`` feed the
+    phase map so the regression gate watches the critical path shrinking
+    (or the efficiency collapsing) exactly like a wall-clock phase —
+    efficiency gates on the higher-is-better side
+    (``repro.obs.regress.is_higher_better_phase``).
+    """
+    from repro import datasets
+    from repro.hetero.parallel import ParallelEngine
+    from repro.obs import span, tracing
+    from repro.obs.critpath import analyze_collector
+
+    g = datasets.load("OPF_3754", scale)
+    sources = np.arange(min(g.n, 64), dtype=np.int64)
+    half = sources.size // 2 or 1
+    with tracing() as tr, span("bench.critpath", graph="OPF_3754"):
+        with ParallelEngine(g, workers=2, chunk_size=16) as eng:
+            eng.multi_source(sources[:half])
+            eng.multi_source(sources[half:])
+    result = analyze_collector(tr)
+    top = max(result.path, key=lambda e: e["path_ns"]) if result.path else None
+    return {
+        "graph": {"name": "OPF_3754", "n": g.n, "m": g.m},
+        "length_ns": int(result.total_ns),
+        "parallel_efficiency": float(result.parallel_efficiency),
+        "spans": int(result.span_count),
+        "path_entries": len(result.path),
+        "dispatches": len(result.dispatches),
+        "stragglers": int(result.stragglers),
+        "orphans": int(result.orphans),
+        "heaviest": top["name"] if top else None,
+    }
+
+
 def bench_fig2(scale: float) -> list[dict]:
     from repro.bench import run_fig2
 
@@ -253,6 +294,12 @@ def _phases(baseline: dict) -> dict:
         "smoke.bulk_query.vectorized": baseline["bulk_query"]["vectorized_s"],
         "smoke.sampler.disabled": baseline["sampler"]["disabled_s"],
         "smoke.sampler.enabled": baseline["sampler"]["enabled_s"],
+        # Critical-path phases keep their canonical (un-prefixed) names so
+        # profile-run records and bench records gate against each other.
+        "critpath.length_ns": float(baseline["critpath"]["length_ns"]),
+        "critpath.parallel_efficiency": baseline["critpath"][
+            "parallel_efficiency"
+        ],
     }
     for row in baseline["fig2"]:
         phases[f"smoke.fig2.{row['name']}.ours"] = row["t_ours_s"]
@@ -303,6 +350,7 @@ def main() -> None:
         "parallel": bench_parallel(args.scale),
         "bulk_query": bench_bulk_query(args.scale),
         "sampler": bench_sampler_overhead(args.scale),
+        "critpath": bench_critpath(args.scale),
         "fig2": bench_fig2(args.scale),
         "table2": bench_table2(args.scale),
     }
@@ -367,6 +415,12 @@ def main() -> None:
         f"sampler overhead: off {sp['disabled_s']:.4f}s vs armed "
         f"{sp['enabled_s']:.4f}s at {sp['hz']:g} Hz "
         f"({sp['overhead_frac'] * 100:+.2f}%, {sp['samples']} samples)"
+    )
+    cp = baseline["critpath"]
+    print(
+        f"critical path: {cp['length_ns'] / 1e9:.3f}s over {cp['spans']} "
+        f"span(s), efficiency {cp['parallel_efficiency']:.3f}, "
+        f"{cp['stragglers']} straggler(s), heaviest {cp['heaviest']}"
     )
 
 

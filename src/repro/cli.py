@@ -15,6 +15,8 @@ Examples
     repro-bench regress --trace-a before.json --trace-b after.json
     repro-bench watch --once --events run-events
     repro-bench report --ledger RUN_LEDGER.jsonl --out run-report.html
+    repro-bench critpath --trace trace.json --events run-events
+    repro-bench critpath --json --out critpath.json --ledger RUN_LEDGER.jsonl
     repro-bench scenarios --config examples/scenario_smoke.json
     repro-bench scenarios --scenario clean-theta-apsp tight-deadline-query
     repro-bench slo --events scenario-events/clean-theta-apsp --budgets b.json
@@ -370,6 +372,17 @@ def _cmd_profile(args) -> None:
     print()
     print(summary(tr, counters))
     print()
+    # Critical-path headline (full tables via ``repro-bench critpath``).
+    from .obs.critpath import analyze_collector
+
+    cp = analyze_collector(tr)
+    print(
+        f"critical path: {cp.total_ns / 1e9:.6f} s over {cp.span_count} "
+        f"span(s); parallel efficiency {cp.parallel_efficiency:.3f}; "
+        f"{cp.stragglers} straggler(s) "
+        "(details: repro-bench critpath)"
+    )
+    print()
     mem = mp.as_dict()
     if mem:
         print(
@@ -411,10 +424,16 @@ def _cmd_profile(args) -> None:
         if profile_dir:
             meta["profile_dir"] = str(Path(profile_dir).resolve())
             meta["sampler_hz"] = float(sample_hz)
+        # The two critpath headline numbers ride in phases so the
+        # regression gate holds the line on critical-path length and
+        # parallel efficiency, not just aggregate phase medians.
+        phases = dict(phase_totals(tr))
+        phases["critpath.length_ns"] = float(cp.total_ns)
+        phases["critpath.parallel_efficiency"] = float(cp.parallel_efficiency)
         ledger.append(
             RunRecord.new(
                 kind="profile",
-                phases=phase_totals(tr),
+                phases=phases,
                 counters={
                     k: v for k, v in counters.items() if not isinstance(v, dict)
                 },
@@ -655,6 +674,66 @@ def _cmd_report(args) -> None:
     print(f"wrote report to {out} ({', '.join(s for s in srcs if s) or 'no inputs'})")
 
 
+def _cmd_critpath(args) -> None:
+    """``repro-bench critpath`` — critical-path attribution over a trace.
+
+    Reads a recorded Chrome trace (``--trace``, or the newest ledgered
+    profile record's ``trace_path``) plus, when available, the matching
+    event stream, and prints which spans actually bound end-to-end time:
+    the critical path with per-category attribution, inclusive-vs-self
+    rollups, per-dispatch straggler flags, per-worker busy/idle, and the
+    Amdahl-style what-if estimates.  ``--json`` emits the full
+    schema-versioned analysis instead of tables.  Exits 2 when the trace
+    carries no analyzable spans.
+    """
+    from .obs.critpath import analyze_chrome, render_text
+    from .obs.events import EventLog
+    from .obs.ledger import Ledger, default_ledger_path
+
+    trace_path = args.trace
+    events_dir = args.events
+    if trace_path is None or events_dir is None:
+        ledger_path = Path(args.ledger) if args.ledger else default_ledger_path()
+        if ledger_path is not None and Path(ledger_path).exists():
+            ledger = Ledger(ledger_path)
+            records = ledger.records(kind="profile")
+            record = records[-1] if records else ledger.latest()
+            if record is not None:
+                if trace_path is None:
+                    trace_path = record.meta.get("trace_path")
+                if events_dir is None:
+                    events_dir = record.meta.get("events_dir")
+    if not trace_path or not Path(trace_path).exists():
+        raise SystemExit(
+            "critpath: no Chrome trace (pass --trace, or run "
+            "repro-bench profile --trace-out with a ledger configured)"
+        )
+    with open(trace_path) as fh:
+        trace = json.load(fh)
+    events = None
+    if events_dir and Path(events_dir).is_dir():
+        log = EventLog(events_dir)
+        events = log.read()
+        if log.skipped and not args.json:
+            print(f"events: skipped {log.skipped} unreadable line(s)")
+    result = analyze_chrome(trace, events=events, straggler_k=args.straggler_k)
+    if not result.span_count:
+        print(f"critpath: {trace_path} carries no analyzable spans")
+        raise SystemExit(2)
+    if args.json:
+        doc = json.dumps(result.as_dict(), indent=1)
+        if args.out:
+            Path(args.out).write_text(doc + "\n")
+            print(f"wrote critpath analysis to {args.out}")
+        else:
+            print(doc)
+        return
+    print(f"critpath over {trace_path}"
+          + (f" + {len(events)} event(s)" if events else ""))
+    print()
+    print(render_text(result))
+
+
 def _cmd_slo(args) -> None:
     """``repro-bench slo`` — judge an event stream against SLO budgets.
 
@@ -771,7 +850,8 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             "table1", "fig2", "table2", "phases", "datasets", "qa",
-            "profile", "regress", "watch", "report", "scenarios", "slo", "all",
+            "profile", "regress", "watch", "report", "critpath",
+            "scenarios", "slo", "all",
         ],
     )
     parser.add_argument(
@@ -843,19 +923,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--events",
         default=None,
-        help="watch/report: event-stream directory to read "
+        help="watch/report/critpath: event-stream directory to read "
              "(default: REPRO_EVENTS, or the ledgered run's events_dir)",
     )
     parser.add_argument(
         "--trace",
         default=None,
-        help="report: Chrome trace JSON to render "
+        help="report/critpath: Chrome trace JSON to analyze "
              "(default: the ledgered run's trace_path)",
     )
     parser.add_argument(
         "--out",
         default=None,
-        help="report: output HTML path (default run-report.html)",
+        help="report: output HTML path (default run-report.html); "
+             "critpath --json: output JSON path (default stdout)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="critpath: emit the full schema-versioned JSON analysis "
+             "instead of text tables",
+    )
+    parser.add_argument(
+        "--straggler-k",
+        type=float,
+        default=4.0,
+        help="critpath: MAD multiplier for the straggler band "
+             "(finish > median + k*MAD)",
     )
     parser.add_argument(
         "--once",
@@ -963,6 +1057,7 @@ def main(argv: list[str] | None = None) -> int:
         "regress": _cmd_regress,
         "watch": _cmd_watch,
         "report": _cmd_report,
+        "critpath": _cmd_critpath,
         "scenarios": _cmd_scenarios,
         "slo": _cmd_slo,
         "all": _cmd_all,

@@ -34,6 +34,12 @@ This package makes that accounting first-class for the reproduction:
 * :mod:`repro.obs.sampler` — zero-dependency continuous profiling: a
   thread-based stack sampler with collapsed-stack (flamegraph) export,
   armed via ``REPRO_SAMPLER`` / ``repro-bench profile --sample-hz``.
+* :mod:`repro.obs.critpath` — offline critical-path attribution over a
+  recorded trace: the span-DAG (causal dispatch/chunk links included),
+  the longest causally-ordered chain with per-category attribution,
+  inclusive-vs-self rollups, per-worker straggler stats, and
+  Amdahl-style what-if estimates; surfaced as ``repro-bench critpath``
+  and the report's "critical path & stragglers" section.
 
 Enable tracing with the ``REPRO_TRACE`` environment variable (``1`` to
 collect, a ``*.json`` path to also write a Chrome trace at process exit)
@@ -63,6 +69,14 @@ from .events import (
     events_to,
 )
 from .events import enabled as events_enabled
+from .critpath import (
+    CRITPATH_SCHEMA_VERSION,
+    CritPathResult,
+    analyze_chrome,
+    analyze_collector,
+    validate_critpath_doc,
+)
+from .critpath import render_text as render_critpath
 from .export import (
     VIRTUAL_PID,
     chrome_trace,
@@ -113,6 +127,7 @@ from .regress import (
     compare,
     diff_chrome_traces,
     extract_phases,
+    is_higher_better_phase,
     is_tail_phase,
     measure_profile_phases,
     phase_totals,
@@ -272,7 +287,15 @@ __all__ = [
     "compare",
     "diff_chrome_traces",
     "extract_phases",
+    "is_higher_better_phase",
     "is_tail_phase",
     "measure_profile_phases",
     "phase_totals",
+    # critpath
+    "CRITPATH_SCHEMA_VERSION",
+    "CritPathResult",
+    "analyze_chrome",
+    "analyze_collector",
+    "render_critpath",
+    "validate_critpath_doc",
 ]

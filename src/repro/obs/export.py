@@ -30,6 +30,7 @@ __all__ = [
     "virtual_clock_events",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "self_times",
     "summary",
 ]
 
@@ -167,17 +168,66 @@ def validate_chrome_trace(doc: dict) -> list[str]:
     return problems
 
 
+def _union_len_ns(intervals: "list[tuple[int, int]]") -> int:
+    """Total length of the union of (possibly overlapping) intervals."""
+    total = 0
+    hi: int | None = None
+    for lo, end in sorted(intervals):
+        if hi is None or lo > hi:
+            total += end - lo
+            hi = end
+        elif end > hi:
+            total += end - hi
+            hi = end
+    return total
+
+
+def self_times(collector: "TraceCollector") -> "dict[str, tuple[int, int]]":
+    """Per span name: ``(count, self_ns)`` — exclusive time over the tree.
+
+    Self time is a span's duration minus the *union* of its children's
+    intervals (clipped to the span).  Union, not sum: the cross-process
+    chunk spans stitched under a dispatch bracket overlap in time, and a
+    plain subtraction would push the dispatch's self time negative.
+    """
+    out: dict[str, tuple[int, int]] = {}
+
+    def visit(node: dict) -> None:
+        s = node["span"]
+        end = s.start_ns + s.dur_ns
+        covered = _union_len_ns(
+            [
+                (
+                    max(c["span"].start_ns, s.start_ns),
+                    min(c["span"].start_ns + c["span"].dur_ns, end),
+                )
+                for c in node["children"]
+            ]
+        )
+        cnt, tot = out.get(s.name, (0, 0))
+        out[s.name] = (cnt + 1, tot + max(0, s.dur_ns - covered))
+        for c in node["children"]:
+            visit(c)
+
+    for root in collector.span_tree():
+        visit(root)
+    return out
+
+
 def summary(
     collector: "TraceCollector",
     metrics: dict | None = None,
     top_level_only: bool = True,
 ) -> str:
-    """Per-phase wall-time table plus (optionally) a counter table.
+    """Per-phase wall/self-time table plus (optionally) a counter table.
 
     ``top_level_only`` aggregates root spans of the span tree — the
     preprocess/process/post-process stages of the pipeline drivers — so
     percentages add up to the traced wall time rather than double-counting
-    nested children.  Pass ``metrics=obs.snapshot()`` to append counters.
+    nested children.  The ``self (s)`` column is exclusive time (children
+    removed; see :func:`self_times`), so a phase that spends everything in
+    nested spans shows near-zero self.  Pass ``metrics=obs.snapshot()`` to
+    append counters.
     """
     from .trace import Span  # noqa: F401 - documents the input type
 
@@ -189,16 +239,26 @@ def summary(
     for s in spans:
         cnt, tot = rows.get(s.name, (0, 0))
         rows[s.name] = (cnt + 1, tot + s.dur_ns)
+    selfs = self_times(collector)
     total_ns = sum(t for _, t in rows.values())
     lines: list[str] = []
     title = "span" if not top_level_only else "phase"
-    lines.append(f"{title:<28} {'count':>7} {'wall (s)':>12} {'% total':>8}")
-    lines.append("-" * 58)
+    lines.append(
+        f"{title:<28} {'count':>7} {'wall (s)':>12} {'self (s)':>12} "
+        f"{'% total':>8}"
+    )
+    lines.append("-" * 71)
     for name, (cnt, tot) in sorted(rows.items(), key=lambda kv: -kv[1][1]):
         pct = 100.0 * tot / total_ns if total_ns else 0.0
-        lines.append(f"{name:<28} {cnt:>7} {tot / 1e9:>12.6f} {pct:>7.1f}%")
-    lines.append("-" * 58)
-    lines.append(f"{'total':<28} {'':>7} {total_ns / 1e9:>12.6f} {'100.0%':>8}")
+        self_ns = selfs.get(name, (0, 0))[1]
+        lines.append(
+            f"{name:<28} {cnt:>7} {tot / 1e9:>12.6f} {self_ns / 1e9:>12.6f} "
+            f"{pct:>7.1f}%"
+        )
+    lines.append("-" * 71)
+    lines.append(
+        f"{'total':<28} {'':>7} {total_ns / 1e9:>12.6f} {'':>12} {'100.0%':>8}"
+    )
     if metrics:
         lines.append("")
         lines.append(f"{'metric':<44} {'value':>12}")

@@ -37,6 +37,8 @@ __all__ = [
     "measure_profile_phases",
     "phase_totals",
     "TAIL_MARKERS",
+    "HIGHER_IS_BETTER_MARKERS",
+    "is_higher_better_phase",
 ]
 
 #: Phases faster than this (both sides) are noise-floor exempt.
@@ -55,9 +57,22 @@ DEFAULT_TAIL_REL_TOL = 0.75
 TAIL_MARKERS = (".p90", ".p99", ".p999", ".jitter")
 
 
+#: Phase-name markers identifying metrics where *bigger* is better —
+#: efficiency ratios and speedups, not wall times.  These gate in the
+#: inverted direction: a regression is the candidate falling *below*
+#: ``median × (1 − tol)`` and ``median − mad_k × MAD``; a higher value is
+#: an improvement, never a failure.
+HIGHER_IS_BETTER_MARKERS = (".parallel_efficiency", ".speedup", ".utilisation")
+
+
 def is_tail_phase(name: str) -> bool:
     """Whether a ledger phase name carries a tail-latency marker."""
     return any(m in name for m in TAIL_MARKERS)
+
+
+def is_higher_better_phase(name: str) -> bool:
+    """Whether a ledger phase name is a bigger-is-better metric."""
+    return any(m in name for m in HIGHER_IS_BETTER_MARKERS)
 
 
 def median(values: list[float]) -> float:
@@ -186,6 +201,13 @@ def compare(
     ledgers) are gated with ``tail_rel_tol`` instead of ``rel_tol`` —
     tails regress too, but their estimates are noisier, so the band is
     wider.  Pass ``tail_rel_tol=rel_tol`` to gate them identically.
+
+    Bigger-is-better phases (names carrying a
+    :data:`HIGHER_IS_BETTER_MARKERS` token, e.g. the
+    ``critpath.parallel_efficiency`` value profile/bench runs ledger) are
+    gated in the *inverted* direction — the candidate falling below both
+    lower bands is the regression; exceeding the baseline is an
+    improvement.
     """
     if rel_tol < 0 or mad_k < 0 or tail_rel_tol < 0:
         raise ValueError("rel_tol, tail_rel_tol, and mad_k must be non-negative")
@@ -201,16 +223,34 @@ def compare(
             continue
         base_med = median(hist)
         base_mad = mad(hist)
-        threshold = max(
-            base_med * (1.0 + tol), base_med + mad_k * base_mad
-        )
+        inverted = is_higher_better_phase(name)
+        if inverted:
+            # Bigger is better: a regression is *dropping below* both
+            # bands, and the noise floor is judged on the baseline alone
+            # (an efficiency collapsing toward zero must still fail).
+            threshold = min(
+                base_med * (1.0 - tol), base_med - mad_k * base_mad
+            )
+        else:
+            threshold = max(
+                base_med * (1.0 + tol), base_med + mad_k * base_mad
+            )
         if cand is None:
             verdicts.append(
                 PhaseVerdict(name, base_med, base_mad, None, threshold, "missing")
             )
             continue
         cand = float(cand)
-        if base_med < min_seconds and cand < min_seconds:
+        if inverted:
+            if base_med < min_seconds:
+                status = "noise-floor"
+            elif cand < threshold:
+                status = "regressed"
+            elif cand > base_med * (1.0 + tol):
+                status = "improved"
+            else:
+                status = "ok"
+        elif base_med < min_seconds and cand < min_seconds:
             status = "noise-floor"
         elif cand > threshold:
             status = "regressed"

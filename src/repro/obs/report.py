@@ -18,7 +18,10 @@ obs layer knows about a run:
 5. **SLO panel** — latency budgets vs measured percentiles from
    :mod:`repro.obs.slo` (ledgered by the scenario runner or recomputed
    from the event stream), with a per-sample deadline-miss timeline.
-6. **Ledger history** — per-phase sparklines over the run ledger with
+6. **Critical path & stragglers** — the :mod:`repro.obs.critpath`
+   span-DAG analysis: which spans bound end-to-end time, per-dispatch
+   straggler flags, and the Amdahl-style what-if estimates.
+7. **Ledger history** — per-phase sparklines over the run ledger with
    the :mod:`repro.obs.regress` verdict for the newest run.
 
 Sections degrade independently: missing inputs render as an explicit
@@ -43,7 +46,8 @@ __all__ = ["REPORT_SECTIONS", "build_report", "write_report", "validate_report"]
 #: The mandatory sections, in render order; ``validate_report``
 #: checks each ``id="section-<name>"`` anchor exists.
 REPORT_SECTIONS = (
-    "waterfall", "timeline", "memory", "counters", "slo", "profile", "history",
+    "waterfall", "timeline", "memory", "counters", "slo", "profile",
+    "critpath", "history",
 )
 
 _PALETTE = (
@@ -739,7 +743,110 @@ def _profile_section(
 
 
 # --------------------------------------------------------------------- #
-# Section 7 — ledger-history sparklines + regression verdict
+# Section 7 — critical path & stragglers
+# --------------------------------------------------------------------- #
+
+
+def _critpath_section(
+    trace: dict | None, events: list[dict] | None
+) -> str:
+    """Critical-path attribution, straggler flags, and what-if estimates.
+
+    Runs the :mod:`repro.obs.critpath` analyzer over the same Chrome
+    trace the waterfall renders (plus the event stream for fault/degrade
+    annotations) and shows the chains that actually bound end-to-end
+    time.
+    """
+    if not trace:
+        return _nodata(
+            "no Chrome trace (run repro-bench profile --trace-out, or pass "
+            "--trace)"
+        )
+    from .critpath import analyze_chrome
+
+    res = analyze_chrome(trace, events=events)
+    if not res.span_count:
+        return _nodata("trace carries no real-pid complete events")
+    parts: list[str] = []
+    eff_cls = "ok" if res.parallel_efficiency >= 0.5 else "bad"
+    parts.append(
+        f"<p>end-to-end <b>{res.total_ns / 1e6:.3f} ms</b> over "
+        f"{res.span_count} span(s); parallel efficiency "
+        f'<span class="{eff_cls}">{res.parallel_efficiency:.3f}</span>; '
+        f"{res.stragglers} straggler(s), {res.orphans} orphan span(s)</p>"
+    )
+    path_rows = sorted(res.path, key=lambda e: -e["path_ns"])[:12]
+    rows = "".join(
+        f"<tr><td>{_esc(e['name'])}</td><td>{_esc(e['cat'])}</td>"
+        f"<td>{_esc(e['pid'] if e['pid'] is not None else '-')}</td>"
+        f"<td>{e['dur_ns'] / 1e6:.3f}</td><td>{e['path_ns'] / 1e6:.3f}</td>"
+        f"<td>{100.0 * e['path_ns'] / max(1, res.total_ns):.1f}%</td></tr>"
+        for e in path_rows
+    )
+    parts.append(
+        '<p class="note">heaviest critical-path entries (per-entry '
+        "contributions sum to the traced window)</p>"
+        "<table><tr><th>span</th><th>cat</th><th>pid</th><th>dur ms</th>"
+        "<th>on-path ms</th><th>share</th></tr>" + rows + "</table>"
+    )
+    if res.dispatches:
+        rows = "".join(
+            f"<tr><td>{_esc(d['dispatch'] if d['dispatch'] is not None else '-')}</td>"
+            f"<td>{d['chunks']}</td><td>{d['workers']}</td>"
+            f"<td>{d['wall_ns'] / 1e6:.3f}</td>"
+            f"<td>{d['utilisation']:.2f}</td>"
+            + (
+                f'<td><span class="bad">'
+                + _esc(
+                    ", ".join(
+                        f"pid {s['pid']} chunk {s['chunk']} "
+                        f"(+{s['excess_ns'] / 1e6:.3f} ms)"
+                        for s in d["stragglers"]
+                    )
+                )
+                + "</span></td>"
+                if d["stragglers"]
+                else "<td>-</td>"
+            )
+            + "</tr>"
+            for d in res.dispatches
+        )
+        parts.append(
+            f'<p class="note">straggler = dispatch-relative finish &gt; '
+            f"median + {res.straggler_k:g}&middot;MAD</p>"
+            "<table><tr><th>dispatch</th><th>chunks</th><th>workers</th>"
+            "<th>wall ms</th><th>util</th><th>stragglers</th></tr>"
+            + rows + "</table>"
+        )
+    if res.whatif:
+        rows = "".join(
+            f"<tr><td>{_esc(w['label'])}</td>"
+            f"<td>{w['saving_ns'] / 1e6:.3f}</td>"
+            f"<td>{w['new_length_ns'] / 1e6:.3f}</td>"
+            f"<td>{w['improvement_pct']:.1f}%</td></tr>"
+            for w in res.whatif
+        )
+        parts.append(
+            '<p class="note">what-if estimates (savings only for '
+            "dispatches on the critical path)</p>"
+            "<table><tr><th>scenario</th><th>saving ms</th>"
+            "<th>new length ms</th><th>improvement</th></tr>"
+            + rows + "</table>"
+        )
+    if res.annotations:
+        items = "".join(
+            f"<li><b>{_esc(a['kind'])}</b>: {_esc(a['detail'])}</li>"
+            for a in res.annotations
+        )
+        parts.append(
+            '<p class="note">event annotations (why the path looks like '
+            f"this)</p><ul>{items}</ul>"
+        )
+    return "".join(parts)
+
+
+# --------------------------------------------------------------------- #
+# Section 8 — ledger-history sparklines + regression verdict
 # --------------------------------------------------------------------- #
 
 
@@ -864,6 +971,10 @@ def build_report(
         "profile": (
             "Continuous profiling (collapsed stacks)",
             _profile_section(profile, record),
+        ),
+        "critpath": (
+            "Critical path & stragglers",
+            _critpath_section(trace, events),
         ),
         "history": ("Ledger history & regression verdict", _history_section(history)),
     }

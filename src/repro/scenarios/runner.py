@@ -25,6 +25,7 @@ import numpy as np
 
 from ..obs import events as _events
 from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..obs.events import EventLog, events_to
 from ..obs.slo import (
     LatencyStats,
@@ -59,6 +60,7 @@ class ScenarioResult:
     events_dir: str
     n_events: int
     record: "object | None" = None  # RunRecord when a ledger was given
+    critpath: "dict | None" = None  # compact critical-path summary
 
     @property
     def ok(self) -> bool:
@@ -181,7 +183,10 @@ def run_scenario(
     rng = np.random.default_rng(cfg.queries.seed if cfg.queries else 0)
     events_dir = str(events_dir)
     t0 = time.perf_counter()
-    with events_to(events_dir) as sink:
+    # The whole scenario runs under its own trace collector so the
+    # critical-path analyzer can attribute the wall time afterwards —
+    # same spans the profile command records, scoped per scenario.
+    with events_to(events_dir) as sink, _trace.tracing() as tr:
         fault_ctx = inject(cfg.faults) if cfg.faults else None
         try:
             if fault_ctx is not None:
@@ -202,6 +207,9 @@ def run_scenario(
 
     log = EventLog(sink.dir)
     events = log.read()
+    from ..obs.critpath import analyze_collector
+
+    critpath = analyze_collector(tr, events=events).summary_dict()
     latencies = extract_latencies(events)
     report = evaluate(latencies, list(cfg.slo))
     top_k = cfg.queries.exemplar_k if cfg.queries is not None else 10
@@ -235,6 +243,7 @@ def run_scenario(
                     "faults": cfg.faults,
                     "repeats": cfg.repeats,
                     "events_dir": str(Path(events_dir).resolve()),
+                    "critpath": critpath,
                 },
                 exemplars=[ex.as_dict() for ex in report.exemplars],
             )
@@ -247,6 +256,7 @@ def run_scenario(
         events_dir=events_dir,
         n_events=len(events),
         record=record,
+        critpath=critpath,
     )
 
 

@@ -1,0 +1,618 @@
+"""repro.obs.critpath: span-DAG reconstruction, path exactness, stragglers.
+
+The synthetic-trace tests pin the analyzer's arithmetic on hand-built
+geometries (ingested :class:`~repro.obs.trace.Span` tuples, so every
+nanosecond is chosen); the live tests run the real 2-worker parallel
+backend — including the acceptance case of an injected worker hang that
+must surface as a flagged straggler.  The CLI / report / regress classes
+cover the surfaces the analysis is exposed through.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import span, tracing
+from repro.obs.critpath import (
+    CRITPATH_SCHEMA_VERSION,
+    DEFAULT_STRAGGLER_K,
+    STRAGGLER_FLOOR_NS,
+    CritPathResult,
+    analyze_chrome,
+    analyze_collector,
+    render_text,
+    validate_critpath_doc,
+)
+from repro.obs.export import chrome_trace
+from repro.obs.trace import Span, TraceCollector
+
+MS = 1_000_000  # ns per millisecond — keeps the geometries readable
+
+
+def _collector(*spans: tuple) -> TraceCollector:
+    """Build a collector from (name, cat, start_ms, dur_ms, pid[, args])."""
+    tr = TraceCollector()
+    tr.ingest(
+        [
+            Span(
+                name=s[0], cat=s[1], start_ns=s[2] * MS, dur_ns=s[3] * MS,
+                pid=s[4], tid=1, depth=0, args=s[5] if len(s) > 5 else {},
+            ).to_tuple()
+            for s in spans
+        ]
+    )
+    return tr
+
+
+class TestSyntheticPath:
+    def test_contributions_sum_exactly_to_window(self):
+        # root [0,100], child [10,40], grandchild [20,30], gap before+after
+        tr = _collector(
+            ("root", "t", 0, 100, 1),
+            ("child", "t", 10, 30, 1),
+            ("grand", "t", 20, 10, 1),
+        )
+        res = analyze_collector(tr)
+        assert res.total_ns == 100 * MS
+        assert sum(e["path_ns"] for e in res.path) == res.total_ns
+        by_name = {e["name"]: e for e in res.path}
+        assert by_name["root"]["path_ns"] == 70 * MS  # 100 - child's 30
+        assert by_name["child"]["path_ns"] == 20 * MS
+        assert by_name["grand"]["path_ns"] == 10 * MS
+
+    def test_untraced_gap_surfaces_explicitly(self):
+        # Two disjoint roots with a hole between them: the hole must be
+        # attributed, not silently vanish.
+        tr = _collector(("a", "t", 0, 10, 1), ("b", "t", 50, 10, 1))
+        res = analyze_collector(tr)
+        assert res.total_ns == 60 * MS
+        untraced = [e for e in res.path if e["name"] == "(untraced)"]
+        assert sum(e["path_ns"] for e in untraced) == 40 * MS
+        assert sum(e["path_ns"] for e in res.path) == res.total_ns
+
+    def test_backward_greedy_prefers_latest_finisher(self):
+        # Both children fit; only the one that finished last binds the
+        # parent's end-to-end time.
+        tr = _collector(
+            ("parent", "t", 0, 100, 1),
+            ("early", "t", 5, 20, 1),
+            ("late", "t", 30, 60, 1),
+        )
+        res = analyze_collector(tr)
+        names = [e["name"] for e in res.path]
+        assert "late" in names and "early" in names
+        by_name = {e["name"]: e for e in res.path}
+        # late covers [30,90] → parent keeps 100-60-20=20 only if early
+        # also chains: cursor moves to 30, early ends at 25 <= 30 → taken.
+        assert by_name["late"]["path_ns"] == 60 * MS
+        assert by_name["early"]["path_ns"] == 20 * MS
+        assert by_name["parent"]["path_ns"] == 20 * MS
+
+    def test_attribution_groups_by_category(self):
+        tr = _collector(
+            ("root", "alpha", 0, 100, 1),
+            ("inner", "beta", 0, 60, 1),
+        )
+        res = analyze_collector(tr)
+        assert res.attribution == {"alpha": 40 * MS, "beta": 60 * MS}
+
+    def test_empty_trace_degrades_gracefully(self):
+        res = analyze_collector(TraceCollector())
+        assert res.total_ns == 0 and res.span_count == 0
+        assert res.parallel_efficiency == 1.0
+        assert res.path == [] and res.stragglers == 0
+        assert validate_critpath_doc(res.as_dict()) == []
+        assert "0.000 ms" in render_text(res)
+
+    def test_zero_duration_only_trace_keeps_spans(self):
+        tr = _collector(("instant", "t", 5, 0, 1))
+        res = analyze_collector(tr)
+        assert res.total_ns == 0 and res.span_count == 1
+        assert [e["name"] for e in res.path] == ["instant"]
+        assert validate_critpath_doc(res.as_dict()) == []
+        render_text(res)  # must not divide by zero
+
+    def test_identical_start_times_nest_not_fork(self):
+        tr = _collector(
+            ("long", "t", 0, 100, 1),
+            ("short", "t", 0, 40, 1),
+        )
+        res = analyze_collector(tr)
+        by_name = {e["name"]: e for e in res.path}
+        assert by_name["short"]["path_ns"] == 40 * MS
+        assert by_name["long"]["path_ns"] == 60 * MS
+        assert sum(e["path_ns"] for e in res.path) == 100 * MS
+
+
+class TestCausalLinking:
+    def _dispatch_trace(self, *, chunk_dispatch_ids=(7, 7), orphan=False):
+        spans = [
+            ("run", "t", 0, 100, 1),
+            ("parallel.dispatch", "parallel", 10, 80, 1,
+             {"dispatch": 7, "workers": 2, "chunks": 2}),
+            ("parallel.worker_chunk", "parallel", 12, 30, 2,
+             {"dispatch": chunk_dispatch_ids[0], "chunk": 0}),
+            ("parallel.worker_chunk", "parallel", 12, 75, 3,
+             {"dispatch": chunk_dispatch_ids[1], "chunk": 1}),
+        ]
+        if orphan:
+            spans.append(
+                ("parallel.worker_chunk", "parallel", 200, 10, 4,
+                 {"dispatch": 999, "chunk": 5})
+            )
+        return _collector(*spans)
+
+    def test_chunks_link_by_dispatch_id(self):
+        res = analyze_collector(self._dispatch_trace())
+        (d,) = res.dispatches
+        assert d["dispatch"] == 7 and d["chunks"] == 2 and d["workers"] == 2
+        assert res.orphans == 0
+        # busy 105ms over 80ms * 2 workers
+        assert d["utilisation"] == pytest.approx(105 / 160)
+
+    def test_legacy_trace_links_by_containment(self):
+        res = analyze_collector(
+            self._dispatch_trace(chunk_dispatch_ids=(None, None))
+        )
+        (d,) = res.dispatches
+        assert d["chunks"] == 2 and res.orphans == 0
+
+    def test_orphan_chunk_counted_and_kept_as_root(self):
+        res = analyze_collector(self._dispatch_trace(orphan=True))
+        assert res.orphans == 1
+        (d,) = res.dispatches
+        assert d["chunks"] == 2  # the orphan never attaches
+        assert "orphan worker span" in render_text(res)
+        # The orphan still contributes to the window/path arithmetic.
+        assert sum(e["path_ns"] for e in res.path) == res.total_ns
+
+    def test_worker_rows_cover_busy_idle(self):
+        res = analyze_collector(self._dispatch_trace())
+        rows = {w["pid"]: w for w in res.workers}
+        assert rows[2]["busy_ns"] == 30 * MS
+        assert rows[2]["idle_ns"] == 50 * MS  # 80ms window - 30ms busy
+        assert rows[3]["busy_ns"] == 75 * MS
+
+
+class TestStragglers:
+    def _trace_with_finishes(self, finishes_ms):
+        spans = [
+            ("parallel.dispatch", "parallel", 0, max(finishes_ms) + 1, 1,
+             {"dispatch": 1, "workers": len(finishes_ms)}),
+        ]
+        for i, fin in enumerate(finishes_ms):
+            spans.append(
+                ("parallel.worker_chunk", "parallel", 0, fin, 10 + i,
+                 {"dispatch": 1, "chunk": i})
+            )
+        return _collector(*spans)
+
+    def test_outlier_finish_is_flagged(self):
+        res = analyze_collector(self._trace_with_finishes([10, 11, 10, 60]))
+        (d,) = res.dispatches
+        (s,) = d["stragglers"]
+        assert s["chunk"] == 3 and s["pid"] == 13
+        assert s["excess_ns"] == pytest.approx(49.5 * MS, rel=0.01)
+        assert res.stragglers == 1
+        assert (w["straggler"] for w in res.workers)
+        flagged = {w["pid"] for w in res.workers if w["straggler"]}
+        assert flagged == {13}
+
+    def test_floor_suppresses_scheduler_noise(self):
+        # Near-identical finishes: MAD ~ 0 would flag microsecond jitter
+        # without the absolute floor.
+        tr = TraceCollector()
+        tr.ingest([
+            Span(name="parallel.dispatch", cat="parallel", start_ns=0,
+                 dur_ns=2 * MS, pid=1, tid=1, depth=0,
+                 args={"dispatch": 1, "workers": 3}).to_tuple(),
+            *(
+                Span(name="parallel.worker_chunk", cat="parallel",
+                     start_ns=0, dur_ns=MS + i * 1000, pid=10 + i, tid=1,
+                     depth=0, args={"dispatch": 1, "chunk": i}).to_tuple()
+                for i in range(3)
+            ),
+        ])
+        res = analyze_collector(tr)
+        assert res.stragglers == 0
+        assert STRAGGLER_FLOOR_NS == 1 * MS
+
+    def test_straggler_k_widens_the_band(self):
+        finishes = [10, 11, 10, 18]
+        tight = analyze_collector(
+            self._trace_with_finishes(finishes), straggler_k=1.0
+        )
+        loose = analyze_collector(
+            self._trace_with_finishes(finishes), straggler_k=20.0
+        )
+        assert tight.stragglers == 1 and loose.stragglers == 0
+        assert tight.straggler_k == 1.0
+
+    def test_single_chunk_never_straggles(self):
+        res = analyze_collector(self._trace_with_finishes([50]))
+        assert res.stragglers == 0
+
+
+class TestWhatIf:
+    def test_savings_only_for_on_path_dispatches(self):
+        # Dispatch A is on the path (it bounds the window end); an
+        # imbalanced dispatch B hides entirely inside A's shadow on
+        # another pid, so fixing B cannot shorten the run.
+        tr = _collector(
+            ("run", "t", 0, 100, 1),
+            ("parallel.dispatch", "parallel", 10, 85, 1,
+             {"dispatch": 1, "workers": 2}),
+            ("parallel.worker_chunk", "parallel", 12, 40, 2,
+             {"dispatch": 1, "chunk": 0}),
+            ("parallel.worker_chunk", "parallel", 12, 80, 3,
+             {"dispatch": 1, "chunk": 1}),
+            ("parallel.dispatch", "parallel", 20, 30, 5,
+             {"dispatch": 2, "workers": 2}),
+            ("parallel.worker_chunk", "parallel", 21, 5, 6,
+             {"dispatch": 2, "chunk": 0}),
+            ("parallel.worker_chunk", "parallel", 21, 28, 7,
+             {"dispatch": 2, "chunk": 1}),
+        )
+        res = analyze_collector(tr)
+        on_path = {e["name"] for e in res.path}
+        assert "parallel.dispatch" in on_path
+        balance = next(
+            w for w in res.whatif if w["label"].startswith("perfect balance")
+        )
+        # On-path dispatch 1: wall 85ms, floor = longest chunk 80ms →
+        # saving 5ms.  Off-path dispatch 2's imbalance contributes 0.
+        assert balance["saving_ns"] == 5 * MS
+        assert balance["new_length_ns"] == res.total_ns - 5 * MS
+        assert balance["improvement_pct"] == pytest.approx(5.0)
+
+    def test_wall_floored_at_longest_chunk(self):
+        tr = _collector(
+            ("parallel.dispatch", "parallel", 0, 50, 1,
+             {"dispatch": 1, "workers": 8}),
+            ("parallel.worker_chunk", "parallel", 0, 48, 2,
+             {"dispatch": 1, "chunk": 0}),
+            ("parallel.worker_chunk", "parallel", 0, 2, 3,
+             {"dispatch": 1, "chunk": 1}),
+        )
+        res = analyze_collector(tr)
+        doubled = next(w for w in res.whatif if "2x workers" in w["label"])
+        # 16 workers can't beat the 48ms single chunk: saving ≤ 2ms.
+        assert doubled["saving_ns"] <= 2 * MS
+
+    def test_empty_for_zero_window(self):
+        res = analyze_collector(_collector(("instant", "t", 0, 0, 1)))
+        assert res.whatif == []
+
+
+class TestRollupAndEfficiency:
+    def test_self_time_uses_union_of_overlapping_children(self):
+        # Dispatch [0,100] with two overlapping 60ms chunks covering
+        # [0,60] and [40,100]: union is 100 → dispatch self = 0, not -20.
+        tr = _collector(
+            ("parallel.dispatch", "parallel", 0, 100, 1,
+             {"dispatch": 1, "workers": 2}),
+            ("parallel.worker_chunk", "parallel", 0, 60, 2,
+             {"dispatch": 1, "chunk": 0}),
+            ("parallel.worker_chunk", "parallel", 40, 60, 3,
+             {"dispatch": 1, "chunk": 1}),
+        )
+        res = analyze_collector(tr)
+        rows = {r["name"]: r for r in res.rollup}
+        assert rows["parallel.dispatch"]["self_ns"] == 0
+        assert rows["parallel.dispatch"]["inclusive_ns"] == 100 * MS
+        assert rows["parallel.worker_chunk"]["self_ns"] == 120 * MS
+        # busy 120ms over 100ms * 2 workers
+        assert res.parallel_efficiency == pytest.approx(0.6)
+
+    def test_efficiency_is_one_without_dispatches(self):
+        res = analyze_collector(_collector(("serial", "t", 0, 50, 1)))
+        assert res.parallel_efficiency == 1.0
+
+
+class TestChromeRoundTrip:
+    def test_chrome_doc_matches_collector_analysis(self):
+        with tracing() as tr:
+            with span("outer", cat="t"):
+                with span("inner", cat="t"):
+                    pass
+        direct = analyze_collector(tr)
+        via_chrome = analyze_chrome(chrome_trace(tr))
+        # Chrome ts/dur are µs floats; round-trip is within rounding.
+        assert via_chrome.span_count == direct.span_count
+        assert via_chrome.total_ns == pytest.approx(direct.total_ns, rel=0.01)
+        assert [e["name"] for e in via_chrome.path] == [
+            e["name"] for e in direct.path
+        ]
+
+    def test_virtual_clock_tracks_excluded(self):
+        from repro.obs.export import VIRTUAL_PID
+
+        doc = {
+            "traceEvents": [
+                {"name": "real", "cat": "t", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 0.0, "dur": 1000.0},
+                {"name": "virtual", "cat": "sim", "ph": "X",
+                 "pid": VIRTUAL_PID, "tid": 1, "ts": 0.0, "dur": 9e9},
+                {"name": "meta", "ph": "M", "pid": 1, "tid": 1},
+            ]
+        }
+        res = analyze_chrome(doc)
+        assert res.span_count == 1
+        assert [e["name"] for e in res.path] == ["real"]
+
+    def test_events_become_annotations(self):
+        tr = _collector(("run", "t", 0, 10, 1))
+        events = [
+            {"kind": "fault.fired", "site": "worker.chunk", "arg": "4",
+             "seam": "chunk", "pid": 2, "ts_ns": 5},
+            {"kind": "engine.degraded", "error": "Boom", "pid": 1, "ts_ns": 6},
+            {"kind": "chunk.finish", "pid": 1, "ts_ns": 7},  # not surfaced
+        ]
+        res = analyze_collector(tr, events=events)
+        kinds = [a["kind"] for a in res.annotations]
+        assert kinds == ["fault.fired", "engine.degraded"]
+        assert "event annotations:" in render_text(res)
+
+
+class TestValidation:
+    def test_live_result_validates(self):
+        tr = _collector(("root", "t", 0, 100, 1), ("leaf", "t", 5, 20, 1))
+        doc = analyze_collector(tr).as_dict()
+        assert doc["schema_version"] == CRITPATH_SCHEMA_VERSION
+        assert validate_critpath_doc(doc) == []
+        # JSON round-trip keeps it valid (the CI artifact path).
+        assert validate_critpath_doc(json.loads(json.dumps(doc))) == []
+
+    def test_validator_rejects_tampering(self):
+        doc = analyze_collector(_collector(("r", "t", 0, 100, 1))).as_dict()
+        assert validate_critpath_doc({}) != []
+        bad_sum = json.loads(json.dumps(doc))
+        bad_sum["path"][0]["path_ns"] = 1
+        assert any("sum" in p for p in validate_critpath_doc(bad_sum))
+        bad_type = json.loads(json.dumps(doc))
+        bad_type["parallel_efficiency"] = "high"
+        assert any(
+            "parallel_efficiency" in p for p in validate_critpath_doc(bad_type)
+        )
+        wrong_ver = json.loads(json.dumps(doc))
+        wrong_ver["schema_version"] = 999
+        assert any(
+            "schema_version" in p for p in validate_critpath_doc(wrong_ver)
+        )
+
+
+def _star(arms=4, cycle_len=8, seed=3):
+    from repro.qa.strategies import star_of_cycles
+
+    return star_of_cycles(arms=arms, cycle_len=cycle_len, seed=seed)
+
+
+class TestLiveParallelRun:
+    """The acceptance path: a real 2-worker, 2-dispatch recorded run."""
+
+    @pytest.fixture(scope="class")
+    def recorded(self):
+        from repro.hetero.parallel import ParallelEngine
+
+        g = _star()
+        sources = np.arange(g.n, dtype=np.int64)
+        with tracing() as tr, span("run.acceptance", cat="test"):
+            with ParallelEngine(g, workers=2, chunk_size=8) as eng:
+                eng.multi_source(sources[: g.n // 2])
+                eng.multi_source(sources[g.n // 2:])
+        return analyze_collector(tr)
+
+    def test_path_total_matches_root_span_within_1pct(self, recorded):
+        covered = sum(e["path_ns"] for e in recorded.path)
+        assert abs(covered - recorded.total_ns) <= max(
+            1, recorded.total_ns // 100
+        )
+        assert recorded.total_ns > 0
+
+    def test_two_dispatches_reconstructed_with_chunks(self, recorded):
+        assert len(recorded.dispatches) == 2
+        for d in recorded.dispatches:
+            assert d["chunks"] >= 1
+            assert d["dispatch"] is not None  # causal id, not containment
+        assert 0.0 < recorded.parallel_efficiency <= 1.0
+        assert recorded.orphans == 0
+
+    def test_render_and_schema(self, recorded):
+        text = render_text(recorded)
+        assert "critical path:" in text and "what-if" in text
+        assert validate_critpath_doc(recorded.as_dict()) == []
+
+    def test_injected_hang_is_flagged_as_straggler(self):
+        from repro.hetero.parallel import ParallelEngine
+        from repro.qa.faultinject import inject_worker_hang
+
+        g = _star()
+        sources = np.arange(g.n, dtype=np.int64)
+        # The inject context must wrap engine *construction*: workers
+        # fork (and copy REPRO_FAULTS) when the pool starts, so arming
+        # after the fork would never reach them.  chunk_size=8 on n=29
+        # puts sources 24..28 into chunk 3 — the hang's target.
+        with tracing() as tr, inject_worker_hang(0.08, from_source=24):
+            with ParallelEngine(g, workers=2, chunk_size=8) as eng:
+                eng.multi_source(sources)
+        res = analyze_collector(tr)
+        assert res.stragglers >= 1
+        flagged = [
+            s for d in res.dispatches for s in d["stragglers"]
+        ]
+        assert any(s["chunk"] == 3 for s in flagged)
+        assert all(s["excess_ns"] > 50 * MS for s in flagged)
+        median_fix = next(
+            w for w in res.whatif if "median" in w["label"]
+        )
+        assert median_fix["saving_ns"] > 0
+
+
+class TestDispatchUtilisationHistogram:
+    def test_observed_once_per_dispatch(self):
+        from repro.hetero.parallel import ParallelEngine
+        from repro.obs.metrics import registry
+
+        g = _star()
+        hist = registry().histogram("parallel.dispatch_utilisation")
+        before = hist.count
+        with tracing():
+            with ParallelEngine(g, workers=2, chunk_size=16) as eng:
+                eng.multi_source(np.arange(g.n, dtype=np.int64))
+                eng.multi_source(np.arange(g.n, dtype=np.int64))
+        assert hist.count == before + 2
+        assert 0.0 < hist.max <= 1.0
+
+
+class TestSelfTimesExport:
+    def test_self_times_subtract_child_union(self):
+        from repro.obs.export import self_times
+
+        with tracing() as tr:
+            with span("outer", cat="t"):
+                with span("inner", cat="t"):
+                    pass
+        durs = {s.name: s.dur_ns for s in tr.spans}
+        times = self_times(tr)
+        assert times["inner"] == (1, durs["inner"])  # leaf: self == wall
+        out_count, out_self = times["outer"]
+        assert out_count == 1
+        assert out_self == durs["outer"] - durs["inner"]
+        assert out_self >= 0
+
+    def test_overlapping_children_clip_via_union(self):
+        from repro.obs.export import self_times
+
+        tr = _collector(
+            ("parallel.dispatch", "parallel", 0, 100, 1,
+             {"dispatch": 1}),
+            ("parallel.worker_chunk", "parallel", 0, 60, 1),
+            ("parallel.worker_chunk", "parallel", 40, 60, 1),
+        )
+        # Same-track containment: both chunks nest inside the dispatch;
+        # their union covers [0,100], so dispatch self clamps to 0 — a
+        # plain sum (120) would have gone negative.
+        times = self_times(tr)
+        assert times["parallel.dispatch"] == (1, 0)
+
+    def test_summary_prints_self_column(self):
+        from repro.obs.export import summary
+
+        with tracing() as tr:
+            with span("phase.a", cat="t"):
+                with span("phase.b", cat="t"):
+                    pass
+        text = summary(tr)
+        assert "self (s)" in text
+
+
+class TestRegressInvertedGating:
+    def test_efficiency_drop_regresses_rise_improves(self):
+        from repro.obs.regress import compare, is_higher_better_phase
+
+        assert is_higher_better_phase("critpath.parallel_efficiency")
+        assert not is_higher_better_phase("critpath.length_ns")
+        hist = {"critpath.parallel_efficiency": [0.8, 0.81, 0.79]}
+        down = compare(
+            hist, {"critpath.parallel_efficiency": 0.4},
+            rel_tol=0.25, mad_k=5.0,
+        )
+        assert not down.ok
+        (v,) = down.regressions
+        assert v.name == "critpath.parallel_efficiency"
+        up = compare(
+            hist, {"critpath.parallel_efficiency": 0.99},
+            rel_tol=0.1, mad_k=5.0,
+        )
+        assert up.ok
+        assert up.verdicts[0].status == "improved"
+
+    def test_length_still_gates_on_the_slow_side(self):
+        from repro.obs.regress import compare
+
+        hist = {"critpath.length_ns": [1e9, 1.01e9, 0.99e9]}
+        slow = compare(hist, {"critpath.length_ns": 3e9}, rel_tol=0.5)
+        assert not slow.ok
+        fast = compare(hist, {"critpath.length_ns": 0.9e9}, rel_tol=0.5)
+        assert fast.ok
+
+
+class TestCLI:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        with tracing() as tr, span("run.cli", cat="test"):
+            with span("work", cat="test"):
+                pass
+        path = tmp_path / "trace.json"
+        tr.write_chrome(str(path))
+        return path
+
+    def test_text_output(self, trace_file, capsys):
+        from repro.cli import main
+
+        assert main(["critpath", "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out and "run.cli" in out
+
+    def test_json_output_validates(self, trace_file, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "critpath.json"
+        assert main(
+            ["critpath", "--trace", str(trace_file), "--json",
+             "--out", str(out_path)]
+        ) == 0
+        doc = json.loads(out_path.read_text())
+        assert validate_critpath_doc(doc) == []
+        assert doc["span_count"] == 2
+
+    def test_missing_trace_exits_with_message(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["critpath", "--trace", str(tmp_path / "absent.json"),
+                  "--ledger", str(tmp_path / "no-ledger.jsonl")])
+        assert "no Chrome trace" in str(exc.value)
+
+    def test_spanless_trace_exits_2(self, tmp_path):
+        from repro.cli import main
+
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"traceEvents": []}))
+        with pytest.raises(SystemExit) as exc:
+            main(["critpath", "--trace", str(empty)])
+        assert exc.value.code == 2
+
+    def test_profile_prints_critpath_headline(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "apsp", "--scale", "0.01",
+                     "--datasets", "nopoly"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "parallel efficiency" in out
+
+
+class TestReportSection:
+    def test_report_includes_critpath_section(self):
+        from repro.obs.report import REPORT_SECTIONS, build_report, validate_report
+
+        assert "critpath" in REPORT_SECTIONS
+        with tracing() as tr, span("run.report", cat="test"):
+            with span("work", cat="test"):
+                pass
+        doc = build_report(trace=chrome_trace(tr))
+        assert validate_report(doc) == []
+        assert 'id="section-critpath"' in doc
+        assert "parallel efficiency" in doc
+        assert "run.report" in doc
+
+    def test_report_degrades_without_trace(self):
+        from repro.obs.report import build_report
+
+        doc = build_report()
+        assert 'id="section-critpath"' in doc  # anchor present, no data
+        assert "no Chrome trace" in doc

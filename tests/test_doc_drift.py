@@ -36,7 +36,7 @@ DOC = Path(__file__).resolve().parent.parent / "docs" / "OBSERVABILITY.md"
 # The families this suite asserts are *exhaustively* documented-and-live.
 # Other families (mcb.*, delta.*, parallel.*...) have workload-specific
 # triggers and are covered by the emitted=>documented direction only.
-OWNED_PREFIXES = ("bulk_query.", "provenance.", "sampler.")
+OWNED_PREFIXES = ("bulk_query.", "critpath.", "provenance.", "sampler.")
 
 _NAME_RE = re.compile(r"`([^`]+)`")
 _METRIC_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
@@ -111,6 +111,34 @@ def _run_smoke_workload(tmp_path: Path) -> None:
     bad.mkdir()
     (bad / "profile-1.collapsed").write_text("frame;frame not_a_count\n")
     read_profile(bad)
+
+    # critpath.*: one analysis over a synthetic trace that carries both a
+    # fabricated straggler (finishes 1/1/1/50 ms inside one dispatch) and
+    # an orphan worker chunk with no dispatch bracket, so the analyses /
+    # stragglers / orphans counters all move in a single pass.
+    from repro.obs.critpath import analyze_collector
+    from repro.obs.trace import Span, TraceCollector
+
+    ms = 1_000_000
+    tr = TraceCollector()
+    tr.ingest(
+        [
+            Span(name="parallel.dispatch", cat="parallel", start_ns=0,
+                 dur_ns=51 * ms, pid=1, tid=1, depth=0,
+                 args={"dispatch": 1, "workers": 4}).to_tuple(),
+            *(
+                Span(name="parallel.worker_chunk", cat="parallel",
+                     start_ns=0, dur_ns=dur * ms, pid=10 + i, tid=1,
+                     depth=0, args={"dispatch": 1, "chunk": i}).to_tuple()
+                for i, dur in enumerate((1, 1, 1, 50))
+            ),
+            Span(name="parallel.worker_chunk", cat="parallel",
+                 start_ns=60 * ms, dur_ns=ms, pid=99, tid=1, depth=0,
+                 args={"dispatch": 777, "chunk": 0}).to_tuple(),
+        ]
+    )
+    res = analyze_collector(tr)
+    assert res.stragglers and res.orphans, "drift workload lost its shape"
 
 
 def _counter_names() -> set[str]:

@@ -111,6 +111,80 @@ class TestNesting:
         assert tr.total_ns("absent") == 0
 
 
+class TestSpanTreeEdgeCases:
+    """Degenerate geometries the containment sweep must not mangle.
+
+    These are the same shapes the critical-path analyzer walks
+    (``repro.obs.critpath`` reuses the sort/sweep), so the tree contract
+    here is what lets that analysis degrade gracefully downstream.
+    """
+
+    @staticmethod
+    def _ingest(*spans: Span) -> TraceCollector:
+        tr = TraceCollector()
+        tr.ingest([s.to_tuple() for s in spans])
+        return tr
+
+    @staticmethod
+    def _mk(name, start, dur, pid=1, tid=1, depth=0, args=None):
+        return Span(name=name, cat="t", start_ns=start, dur_ns=dur,
+                    pid=pid, tid=tid, depth=depth, args=args or {})
+
+    def test_zero_duration_span_nests_inside_cover(self):
+        tr = self._ingest(
+            self._mk("cover", 0, 100),
+            self._mk("instant", 50, 0),
+        )
+        (root,) = tr.span_tree()
+        assert root["span"].name == "cover"
+        (child,) = root["children"]
+        assert child["span"].name == "instant"
+        assert child["span"].dur_ns == 0
+
+    def test_zero_duration_span_alone_is_a_root(self):
+        tr = self._ingest(self._mk("instant", 7, 0))
+        (root,) = tr.span_tree()
+        assert root["span"].name == "instant"
+        assert root["children"] == []
+
+    def test_identical_start_times_longer_span_contains_shorter(self):
+        # Same start on one track: the (start, -dur) sort makes the
+        # longer span the parent, never a sibling overlap.
+        tr = self._ingest(
+            self._mk("long", 10, 100),
+            self._mk("short", 10, 40),
+        )
+        (root,) = tr.span_tree()
+        assert root["span"].name == "long"
+        assert [c["span"].name for c in root["children"]] == ["short"]
+
+    def test_identical_start_and_duration_nest_deterministically(self):
+        tr = self._ingest(
+            self._mk("twin_a", 10, 50),
+            self._mk("twin_b", 10, 50),
+        )
+        roots = tr.span_tree()
+        assert len(roots) == 1  # one nests under the other, no fork
+        (child,) = roots[0]["children"]
+        assert {roots[0]["span"].name, child["span"].name} == {
+            "twin_a", "twin_b"
+        }
+
+    def test_orphan_worker_span_stays_own_root(self):
+        # A worker_chunk from another pid with no dispatch bracket in the
+        # trace (crash-degraded run / torn file): its track has no cover,
+        # so it must surface as a root rather than attach anywhere.
+        tr = self._ingest(
+            self._mk("parallel.dispatch", 0, 100, pid=1),
+            self._mk("parallel.worker_chunk", 200, 50, pid=2,
+                     args={"dispatch": 99, "chunk": 0}),
+        )
+        roots = tr.span_tree()
+        assert {n["span"].name for n in roots} == {
+            "parallel.dispatch", "parallel.worker_chunk"
+        }
+
+
 class TestExceptionSafety:
     def test_raising_span_is_recorded_with_error_tag(self):
         with tracing() as tr:

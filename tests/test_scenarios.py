@@ -203,6 +203,14 @@ class TestRunScenario:
         # Tail percentiles ledgered as phases for the regression gate.
         assert "scenario.tiny.query.p99" in rec.phases
         assert "scenario.tiny.wall" in rec.phases
+        # Compact critical-path summary rides along in the record meta
+        # (and on the result), so scenario regressions can be attributed
+        # without re-running anything.
+        cp = rec.meta["critpath"]
+        assert cp == res.critpath
+        assert cp["length_ns"] > 0
+        assert 0.0 <= cp["parallel_efficiency"] <= 1.0
+        assert cp["entries"] >= 1 and isinstance(cp["top"], list)
 
     def test_ledger_scenario_filter(self, tmp_path):
         led = Ledger(tmp_path / "ledger.jsonl")
